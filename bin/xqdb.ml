@@ -1,0 +1,193 @@
+(* xqdb — command-line front end to the updatable pre/post-plane XML store.
+
+   Subcommands: query, update, stats, xmark, checkpoint, recover. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let load ?wal_path ~page_bits ~fill path =
+  Core.Db.of_xml ~page_bits ~fill ?wal_path (read_file path)
+
+(* common options *)
+let page_bits =
+  let doc = "Logical page size as a power of two (tuples per page)." in
+  Arg.(value & opt int Core.Schema_up.default_page_bits & info [ "page-bits" ] ~doc)
+
+let fill =
+  let doc = "Shredder fill factor: fraction of each logical page used." in
+  Arg.(value & opt float 0.8 & info [ "fill" ] ~doc)
+
+let doc_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"XML-FILE")
+
+(* ------------------------------------------------------------------ query *)
+
+let query_cmd =
+  let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let count_only =
+    Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print only the result count.")
+  in
+  let run path xpath count_only page_bits fill =
+    let db = load ~page_bits ~fill path in
+    match Core.Db.query db xpath with
+    | items ->
+      if count_only then Printf.printf "%d\n" (List.length items)
+      else
+        Core.Db.read db (fun v ->
+            let module Ser = Core.Node_serialize.Make (Core.View) in
+            List.iter
+              (fun item ->
+                match item with
+                | Core.Db.E.Node pre -> print_endline (Ser.subtree_to_string v pre)
+                | Core.Db.E.Attribute { qn; value; _ } ->
+                  Printf.printf "%s=\"%s\"\n" (Xml.Qname.to_string qn) value)
+              items);
+      0
+    | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
+      Printf.eprintf "xpath error at offset %d: %s\n" pos msg;
+      1
+  in
+  let info = Cmd.info "query" ~doc:"Evaluate an XPath expression over a document." in
+  Cmd.v info Term.(const run $ doc_arg $ xpath $ count_only $ page_bits $ fill)
+
+(* ----------------------------------------------------------------- xquery *)
+
+let xquery_cmd =
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
+  let run path query page_bits fill =
+    let db = load ~page_bits ~fill path in
+    let module Xq = Xquery.Xq_eval.Make (Core.View) in
+    match Core.Db.read db (fun v -> Xq.run_string v query) with
+    | out ->
+      print_endline out;
+      0
+    | exception Xquery.Xq_parser.Syntax_error { pos; msg } ->
+      Printf.eprintf "xquery syntax error at offset %d: %s\n" pos msg;
+      1
+    | exception Xq.Error msg ->
+      Printf.eprintf "xquery error: %s\n" msg;
+      1
+  in
+  let info =
+    Cmd.info "xquery" ~doc:"Evaluate an XQuery (FLWOR subset) over a document."
+  in
+  Cmd.v info Term.(const run $ doc_arg $ query $ page_bits $ fill)
+
+(* ----------------------------------------------------------------- update *)
+
+let update_cmd =
+  let xupdate =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"XUPDATE-FILE")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Write the updated document here (default: stdout).")
+  in
+  let run path xupdate output page_bits fill =
+    let db = load ~page_bits ~fill path in
+    match Core.Db.update db (read_file xupdate) with
+    | n ->
+      Printf.eprintf "%d target(s) updated\n" n;
+      let xml = Core.Db.to_xml db in
+      (match output with None -> print_endline xml | Some out -> write_file out xml);
+      0
+    | exception Core.Xupdate.Parse_error m | exception Core.Xupdate.Apply_error m ->
+      Printf.eprintf "xupdate error: %s\n" m;
+      1
+  in
+  let info = Cmd.info "update" ~doc:"Apply an XUpdate document transactionally." in
+  Cmd.v info Term.(const run $ doc_arg $ xupdate $ output $ page_bits $ fill)
+
+(* ------------------------------------------------------------------ stats *)
+
+let stats_cmd =
+  let run path page_bits fill =
+    let d = Xml.Xml_parser.parse ~strip_ws:true (read_file path) in
+    let ro = Core.Schema_ro.of_dom d in
+    let up = Core.Schema_up.of_dom ~page_bits ~fill d in
+    let sro = Core.Schema_ro.stats ro and sup = Core.Schema_up.stats up in
+    Printf.printf "%-24s %12s %12s\n" "" "read-only" "updateable";
+    let row name a b = Printf.printf "%-24s %12d %12d\n" name a b in
+    row "nodes" sro.Core.Schema_ro.nodes sup.Core.Schema_up.nodes;
+    row "slots" sro.Core.Schema_ro.slots sup.Core.Schema_up.slots;
+    row "attributes" sro.Core.Schema_ro.attrs sup.Core.Schema_up.attrs;
+    row "distinct qnames" sro.Core.Schema_ro.distinct_qnames sup.Core.Schema_up.distinct_qnames;
+    row "approx bytes" sro.Core.Schema_ro.approx_bytes sup.Core.Schema_up.approx_bytes;
+    Printf.printf "%-24s %12s %11.1f%%\n" "storage overhead" ""
+      (100.0
+      *. (float_of_int sup.Core.Schema_up.approx_bytes
+          /. float_of_int sro.Core.Schema_ro.approx_bytes
+         -. 1.0));
+    Printf.printf "%-24s %12s %12d\n" "logical pages" "" (Core.Schema_up.npages up);
+    0
+  in
+  let info = Cmd.info "stats" ~doc:"Compare storage footprints of both schemas." in
+  Cmd.v info Term.(const run $ doc_arg $ page_bits $ fill)
+
+(* ------------------------------------------------------------------ xmark *)
+
+let xmark_cmd =
+  let scale =
+    Arg.(value & opt float 0.01 & info [ "s"; "scale" ] ~doc:"XMark scale factor.")
+  in
+  let seed = Arg.(value & opt int 20050401 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Output XML file.")
+  in
+  let run scale seed output =
+    let d = Xmark.Gen.of_scale ~seed scale in
+    write_file output (Xml.Xml_serialize.to_string ~decl:true d);
+    Printf.eprintf "wrote %s: %d nodes\n" output (Xml.Dom.node_count d);
+    0
+  in
+  let info = Cmd.info "xmark" ~doc:"Generate an XMark-style auction document." in
+  Cmd.v info Term.(const run $ scale $ seed $ output)
+
+(* ------------------------------------------------------ checkpoint/recover *)
+
+let checkpoint_cmd =
+  let out = Arg.(required & pos 1 (some string) None & info [] ~docv:"CHECKPOINT") in
+  let run path out page_bits fill =
+    let db = load ~page_bits ~fill path in
+    Core.Db.checkpoint db out;
+    Printf.eprintf "checkpointed %s to %s\n" path out;
+    0
+  in
+  let info = Cmd.info "checkpoint" ~doc:"Shred a document and write a checkpoint file." in
+  Cmd.v info Term.(const run $ doc_arg $ out $ page_bits $ fill)
+
+let recover_cmd =
+  let ck = Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT") in
+  let wal =
+    Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"WAL"
+           ~doc:"WAL file (default: CHECKPOINT.wal).")
+  in
+  let run ck wal =
+    let db = Core.Db.open_recovered ?wal_path:wal ~checkpoint:ck () in
+    (match Core.Schema_up.check_integrity (Core.Db.store db) with
+    | Ok () -> Printf.eprintf "recovered: %d live nodes, integrity OK\n"
+                 (Core.Schema_up.node_count (Core.Db.store db))
+    | Error m -> Printf.eprintf "recovered but integrity FAILED: %s\n" m);
+    print_endline (Core.Db.to_xml db);
+    0
+  in
+  let info = Cmd.info "recover" ~doc:"Recover a store from checkpoint + WAL and print it." in
+  Cmd.v info Term.(const run $ ck $ wal)
+
+let () =
+  let info =
+    Cmd.info "xqdb" ~version:"1.0"
+      ~doc:"Updatable pre/post-plane XML store (MonetDB/XQuery, SIGMOD 2005)"
+  in
+  exit (Cmd.eval' (Cmd.group info
+                     [ query_cmd; xquery_cmd; update_cmd; stats_cmd; xmark_cmd;
+                       checkpoint_cmd; recover_cmd ]))

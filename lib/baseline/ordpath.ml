@@ -1,0 +1,101 @@
+type t = int list
+
+let root = [ 1 ]
+
+let child l k =
+  if k < 1 then invalid_arg "Ordpath.child: 1-based";
+  l @ [ (2 * k) - 1 ]
+
+let components l = l
+
+let length = List.length
+
+let level l = List.length (List.filter (fun c -> c land 1 = 1) l) - 1
+
+let rec compare a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1 (* prefix (ancestor) sorts first: document order *)
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' -> if x <> y then Stdlib.compare x y else compare a' b'
+
+let rec is_ancestor ~ancestor l =
+  match ancestor, l with
+  | [], [] -> false
+  | [], _ :: _ -> true
+  | _ :: _, [] -> false
+  | x :: a', y :: b' -> x = y && is_ancestor ~ancestor:a' b'
+
+(* A fresh label strictly inside an open interval of the label space.
+   [lo]/[hi] are suffix bounds; [None] is the open end. Chooses odd final
+   components so sibling levels are preserved (even components are ORDPATH
+   carets). *)
+let rec gen lo hi =
+  match lo, hi with
+  | None, None -> [ 1 ]
+  | Some [], _ | _, Some [] -> invalid_arg "Ordpath: empty bound"
+  | Some (l0 :: _), None -> [ (if l0 land 1 = 1 then l0 + 2 else l0 + 1) ]
+  | None, Some (h0 :: _) -> [ (if h0 land 1 = 1 then h0 - 2 else h0 - 1) ]
+  | Some (l0 :: lt), Some (h0 :: ht) ->
+    if l0 = h0 then
+      l0
+      :: gen
+           (match lt with [] -> None | _ -> Some lt)
+           (match ht with
+           | [] -> invalid_arg "Ordpath.gen: bounds not ordered"
+           | _ -> Some ht)
+    else if h0 - l0 >= 2 then begin
+      (* an integer strictly between exists: odd -> done, even -> caret + 1 *)
+      let c = if l0 land 1 = 1 && h0 - l0 > 2 then l0 + 2 else l0 + 1 in
+      if c land 1 = 1 then [ c ] else [ c; 1 ]
+    end
+    else if ht <> [] then h0 :: gen None (Some ht) (* descend on the right *)
+    else if lt <> [] then l0 :: gen (Some lt) None (* descend on the left *)
+    else l0 :: gen None None
+
+let check_order a b =
+  if compare a b >= 0 then
+    invalid_arg
+      (Printf.sprintf "Ordpath.between: bounds not ordered (%s >= %s)"
+         (String.concat "." (List.map string_of_int a))
+         (String.concat "." (List.map string_of_int b)))
+
+let between a b =
+  check_order a b;
+  gen (Some a) (Some b)
+
+(* Sibling labels just outside an existing one: replace the final odd
+   component (levels are preserved; ORDPATH grows the value, not the
+   length, for edge inserts). *)
+let replace_last l f =
+  match List.rev l with
+  | [] -> invalid_arg "Ordpath: empty label"
+  | c :: rest -> List.rev (f c :: rest)
+
+let insert_before l = replace_last l (fun c -> c - 2)
+
+let insert_after l = replace_last l (fun c -> c + 2)
+
+let label_tree d =
+  let acc = ref [] in
+  let rec go label lvl (n : Xml.Dom.node) =
+    acc := (label, lvl) :: !acc;
+    match n with
+    | Xml.Dom.Element e ->
+      List.iteri (fun i c -> go (child label (i + 1)) (lvl + 1) c) e.children
+    | Xml.Dom.Text _ | Xml.Dom.Comment _ | Xml.Dom.Pi _ -> ()
+  in
+  go root 0 (Xml.Dom.Element d.Xml.Dom.root);
+  List.rev !acc
+
+let bit_length l =
+  List.fold_left
+    (fun acc c ->
+      let mag = abs c in
+      let rec bits n = if n = 0 then 1 else 1 + bits (n / 2) in
+      acc + 7 + bits mag)
+    0 l
+
+let to_string l = String.concat "." (List.map string_of_int l)
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

@@ -1,0 +1,52 @@
+(** ORDPATH-style variable-length node labels ([OOP+04], the related work the
+    paper compares against in §4.2).
+
+    Labels are Dewey-like component vectors; odd components carve out levels,
+    even components are {e carets} that extend a label without adding a level,
+    which is what makes inserts possible without relabelling. The paper's
+    critique, which the ordpath bench quantifies: comparisons cost O(label
+    length) instead of one integer comparison, positional skipping is
+    impossible, and labels {e degenerate} (grow without bound) under repeated
+    inserts at the same point. *)
+
+type t
+
+val root : t
+(** The root label, [\[1\]]. *)
+
+val child : t -> int -> t
+(** [child l k] is the label of the k-th (1-based) initially-loaded child:
+    component [2k - 1] appended. *)
+
+val label_tree : Xml.Dom.t -> (t * int) list
+(** Initial load: document-order list of (label, level). *)
+
+val compare : t -> t -> int
+(** Document order. O(min length). *)
+
+val is_ancestor : ancestor:t -> t -> bool
+
+val level : t -> int
+(** Number of odd components minus one (carets don't count). *)
+
+val between : t -> t -> t
+(** A fresh label strictly between two sibling-region labels (the insert
+    primitive). Raises [Invalid_argument] if [compare a b >= 0]. *)
+
+val insert_before : t -> t
+(** A fresh sibling label ordered just before the given one. *)
+
+val insert_after : t -> t
+
+val components : t -> int list
+
+val length : t -> int
+(** Component count — the degeneration measure. *)
+
+val bit_length : t -> int
+(** Approximate encoded size in bits (compressed Dewey: ~[7 + log2 |c|] bits
+    per component, as a stand-in for ORDPATH's Li/Oi prefix code). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

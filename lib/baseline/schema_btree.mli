@@ -1,0 +1,25 @@
+(** The "SQL host" variant the paper sketches in §4:
+
+    "Using a pos/size/level table, where pos is e.g. a SQL 2003 generated
+    column, will work fine in any RDBMS, and the computation of pre from pos
+    using a pageOffset table is perfectly expressible in SQL. Just like
+    original staircase join, a RDBMS will not be able to use positional
+    lookup, but can still be accelerated with B-tree indices."
+
+    This schema stores the same logical content as {!Core.Schema_up} but
+    plays by RDBMS rules: tuples are rows keyed by a {e materialised} [pos],
+    every row access goes through a B-tree (an AVL map here) instead of an
+    array subscript, and the pre→pos swizzle is a join against a pageOffset
+    {e table} (another B-tree) rather than array arithmetic.  Queries run
+    through the same engine functor; the [rdbms] bench quantifies the paper's
+    claim that positional (void-column) access is "the prime reason for the
+    performance advantage of MonetDB/XQuery over other XQuery systems". *)
+
+type t
+
+val of_dom : ?page_bits:int -> ?fill:float -> Xml.Dom.t -> t
+
+include Core.Storage_intf.S with type t := t
+
+val lookups : t -> int
+(** Number of B-tree descents performed so far (diagnostics for the bench). *)

@@ -1,0 +1,170 @@
+type value = I of int | S of string
+
+type tail = TInt of Varray.t | TStr of Strpool.t
+
+type t = {
+  bname : string;
+  base : int;
+  tail : tail;
+  mutable index : (value, int list) Hashtbl.t option;
+      (* value -> oids in descending order (cons order); reversed on lookup *)
+}
+
+let create_int ?(seqbase = 0) bname =
+  { bname; base = seqbase; tail = TInt (Varray.create ()); index = None }
+
+let create_str ?(seqbase = 0) bname =
+  { bname; base = seqbase; tail = TStr (Strpool.create ()); index = None }
+
+let of_int_array ?(seqbase = 0) bname a =
+  { bname; base = seqbase; tail = TInt (Varray.of_array a); index = None }
+
+let name b = b.bname
+
+let seqbase b = b.base
+
+let count b =
+  match b.tail with TInt v -> Varray.length v | TStr p -> Strpool.length p
+
+let idx b oid =
+  let i = oid - b.base in
+  if i < 0 || i >= count b then
+    invalid_arg (Printf.sprintf "Bat %s: oid %d out of range" b.bname oid);
+  i
+
+let get_int b oid =
+  match b.tail with
+  | TInt v -> Varray.get v (idx b oid)
+  | TStr _ -> invalid_arg (Printf.sprintf "Bat %s: string tail" b.bname)
+
+let get_str b oid =
+  match b.tail with
+  | TStr p -> Strpool.get p (idx b oid)
+  | TInt _ -> invalid_arg (Printf.sprintf "Bat %s: int tail" b.bname)
+
+let get b oid =
+  match b.tail with
+  | TInt v -> I (Varray.get v (idx b oid))
+  | TStr p -> S (Strpool.get p (idx b oid))
+
+let invalidate b = b.index <- None
+
+let set_int b oid x =
+  invalidate b;
+  match b.tail with
+  | TInt v -> Varray.set v (idx b oid) x
+  | TStr _ -> invalid_arg (Printf.sprintf "Bat %s: string tail" b.bname)
+
+let set_str b oid s =
+  invalidate b;
+  match b.tail with
+  | TStr p -> Strpool.set p (idx b oid) s
+  | TInt _ -> invalid_arg (Printf.sprintf "Bat %s: int tail" b.bname)
+
+let set b oid = function
+  | I x -> set_int b oid x
+  | S s -> set_str b oid s
+
+let append_int b x =
+  invalidate b;
+  match b.tail with
+  | TInt v -> Varray.push v x + b.base
+  | TStr _ -> invalid_arg (Printf.sprintf "Bat %s: string tail" b.bname)
+
+let append_str b s =
+  invalidate b;
+  match b.tail with
+  | TStr p -> Strpool.push p s + b.base
+  | TInt _ -> invalid_arg (Printf.sprintf "Bat %s: int tail" b.bname)
+
+let append b = function I x -> append_int b x | S s -> append_str b s
+
+let positional_join outer inner oid = get inner (get_int outer oid)
+
+let select_eq b v =
+  let acc = ref [] in
+  (match b.tail, v with
+  | TInt c, I x ->
+    for i = Varray.length c - 1 downto 0 do
+      if Varray.get c i = x then acc := (i + b.base) :: !acc
+    done
+  | TStr p, S s ->
+    for i = Strpool.length p - 1 downto 0 do
+      if String.equal (Strpool.get p i) s then acc := (i + b.base) :: !acc
+    done
+  | TInt _, S _ | TStr _, I _ ->
+    invalid_arg (Printf.sprintf "Bat %s: select type mismatch" b.bname));
+  !acc
+
+let select_range b ~lo ~hi =
+  match b.tail with
+  | TInt c ->
+    let acc = ref [] in
+    for i = Varray.length c - 1 downto 0 do
+      let x = Varray.get c i in
+      if x >= lo && x <= hi then acc := (i + b.base) :: !acc
+    done;
+    !acc
+  | TStr _ -> invalid_arg (Printf.sprintf "Bat %s: string tail" b.bname)
+
+let slice b ~lo ~hi =
+  if hi < lo then [||]
+  else begin
+    let _ = idx b lo and _ = idx b hi in
+    Array.init (hi - lo + 1) (fun i -> get b (lo + i))
+  end
+
+let iteri f b =
+  match b.tail with
+  | TInt c -> Varray.iteri (fun i x -> f (i + b.base) (I x)) c
+  | TStr p -> Strpool.iteri (fun i s -> f (i + b.base) (S s)) p
+
+let build_index b =
+  let h = Hashtbl.create (max 16 (count b)) in
+  iteri
+    (fun oid v ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt h v) in
+      Hashtbl.replace h v (oid :: prev))
+    b;
+  b.index <- Some h
+
+let find_all b v =
+  match b.index with
+  | Some h -> List.rev (Option.value ~default:[] (Hashtbl.find_opt h v))
+  | None -> select_eq b v
+
+let find_first b v =
+  match find_all b v with [] -> None | oid :: _ -> Some oid
+
+let int_data b =
+  match b.tail with
+  | TInt c -> c
+  | TStr _ -> invalid_arg (Printf.sprintf "Bat %s: int_data on string tail" b.bname)
+
+let copy b =
+  { bname = b.bname;
+    base = b.base;
+    tail =
+      (match b.tail with
+      | TInt c -> TInt (Varray.copy c)
+      | TStr p -> TStr (Strpool.copy p));
+    index = None }
+
+let equal a b =
+  a.base = b.base
+  &&
+  match a.tail, b.tail with
+  | TInt x, TInt y -> Varray.equal x y
+  | TStr x, TStr y -> Strpool.equal x y
+  | TInt _, TStr _ | TStr _, TInt _ -> false
+
+let pp_value ppf = function
+  | I x when x = Varray.null -> Format.fprintf ppf "NULL"
+  | I x -> Format.fprintf ppf "%d" x
+  | S s -> Format.fprintf ppf "%S" s
+
+let pp ppf b =
+  Format.fprintf ppf "@[<v 2>BAT %s (void %d..%d):" b.bname b.base
+    (b.base + count b - 1);
+  iteri (fun oid v -> Format.fprintf ppf "@,%6d | %a" oid pp_value v) b;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,101 @@
+(** Binary Association Tables — the MonetDB storage model.
+
+    A BAT is a two-column table [head|tail] where the head is always a
+    {e void} column: a densely ascending oid sequence [seqbase, seqbase+1,
+    ...] that is never materialised (it takes zero space).  Because the head
+    is void, looking a tuple up by oid is a positional array access — one
+    CPU-ish operation — which is the property the paper's update mechanism is
+    designed to preserve ("lookup of void values using positional
+    algorithms").
+
+    The tail is a typed column: integers (possibly the {!Varray.null}
+    sentinel) or strings. *)
+
+type value = I of int | S of string
+(** A tail cell. Integer NULL is [I Varray.null]. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create_int : ?seqbase:int -> string -> t
+(** Empty BAT with an integer tail. The string names the BAT (diagnostics). *)
+
+val create_str : ?seqbase:int -> string -> t
+(** Empty BAT with a string tail. *)
+
+val of_int_array : ?seqbase:int -> string -> int array -> t
+
+val name : t -> string
+
+val seqbase : t -> int
+(** First oid of the void head. *)
+
+val count : t -> int
+(** Number of tuples. Head oids are [seqbase .. seqbase + count - 1]. *)
+
+(** {1 Positional access (void head)} *)
+
+val get_int : t -> int -> int
+(** [get_int b oid] is the integer tail value at head oid [oid].
+    Raises [Invalid_argument] on a non-int tail or out-of-range oid. *)
+
+val get_str : t -> int -> string
+
+val get : t -> int -> value
+
+val set_int : t -> int -> int -> unit
+
+val set_str : t -> int -> string -> unit
+
+val set : t -> int -> value -> unit
+
+val append_int : t -> int -> int
+(** Append a tuple; returns its oid. *)
+
+val append_str : t -> string -> int
+
+val append : t -> value -> int
+
+(** {1 Relational operators} *)
+
+val positional_join : t -> t -> int -> value
+(** [positional_join outer inner oid]: MonetDB's join over a void-headed
+    inner — fetch [outer]'s tail at [oid] (must be an int: an oid into
+    [inner]) then [inner]'s tail positionally.  O(1). *)
+
+val select_eq : t -> value -> int list
+(** Oids whose tail equals the value (scan). Ascending oid order. *)
+
+val select_range : t -> lo:int -> hi:int -> int list
+(** Oids whose integer tail lies in [lo, hi] inclusive (scan). *)
+
+val slice : t -> lo:int -> hi:int -> value array
+(** Tail values for head oids in [lo, hi] inclusive — positional, O(n). *)
+
+val iteri : (int -> value -> unit) -> t -> unit
+(** Iterate (oid, tail) in head order. *)
+
+(** {1 Hash index} *)
+
+val build_index : t -> unit
+(** Build (or rebuild) a hash index on the tail, accelerating
+    {!find_all}/{!find_first}. The index is invalidated (and dropped) by any
+    subsequent mutation. *)
+
+val find_all : t -> value -> int list
+(** All oids with the given tail value; uses the hash index if present,
+    otherwise scans. Ascending order. *)
+
+val find_first : t -> value -> int option
+
+(** {1 Misc} *)
+
+val int_data : t -> Varray.t
+(** Underlying int varray (int tails only) for hot loops. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

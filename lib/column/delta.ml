@@ -1,0 +1,66 @@
+type entry = { pos : int; old_value : Bat.value; mutable new_value : Bat.value }
+
+type t = {
+  tname : string;
+  mutable updates : entry list; (* reverse recording order *)
+  by_pos : (int, entry) Hashtbl.t;
+  mutable appends : Bat.value list; (* reverse order *)
+  mutable nappends : int;
+}
+
+let create tname =
+  { tname; updates = []; by_pos = Hashtbl.create 16; appends = []; nappends = 0 }
+
+let table d = d.tname
+
+let record_update d ~pos ~old_value v =
+  match Hashtbl.find_opt d.by_pos pos with
+  | Some e -> e.new_value <- v
+  | None ->
+    let e = { pos; old_value; new_value = v } in
+    Hashtbl.add d.by_pos pos e;
+    d.updates <- e :: d.updates
+
+let record_append d v =
+  d.appends <- v :: d.appends;
+  d.nappends <- d.nappends + 1
+
+let is_empty d = d.updates = [] && d.appends = []
+
+let update_count d = List.length d.updates
+
+let append_count d = d.nappends
+
+let read d base oid =
+  match Hashtbl.find_opt d.by_pos oid with
+  | Some e -> e.new_value
+  | None ->
+    let n = Bat.count base + Bat.seqbase base in
+    if oid >= n then begin
+      let i = oid - n in
+      if i >= d.nappends then
+        invalid_arg
+          (Printf.sprintf "Delta %s: oid %d beyond base+appends" d.tname oid);
+      List.nth (List.rev d.appends) i
+    end
+    else Bat.get base oid
+
+let apply d base =
+  List.iter (fun e -> Bat.set base e.pos e.new_value) (List.rev d.updates);
+  List.iter (fun v -> ignore (Bat.append base v)) (List.rev d.appends)
+
+let undo d base =
+  (* Truncation of appends is emulated by checking whether they were applied:
+     recovery only calls undo on a base that already contains the appends. *)
+  List.iter
+    (fun e ->
+      if e.pos < Bat.seqbase base + Bat.count base then
+        Bat.set base e.pos e.old_value)
+    d.updates
+
+let iter_updates f d =
+  List.iter
+    (fun e -> f ~pos:e.pos ~old_value:e.old_value e.new_value)
+    (List.rev d.updates)
+
+let iter_appends f d = List.iter f (List.rev d.appends)

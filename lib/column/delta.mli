@@ -1,0 +1,48 @@
+(** Differential lists — MonetDB's transaction-isolation primitive.
+
+    A {!t} records the changes a transaction makes against one BAT without
+    touching the base: in-place cell updates (with their before-image) and
+    appended tuples.  At commit the list is {e carried through} to the base
+    BAT ({!apply}); on abort it is simply dropped.  The before-images also
+    let WAL-based recovery re-run a committed delta idempotently and let
+    tests check isolation (readers of the base never see pending changes). *)
+
+type t
+
+val create : string -> t
+(** Fresh empty delta; the string names the target table (diagnostics,
+    WAL records). *)
+
+val table : t -> string
+
+val record_update : t -> pos:int -> old_value:Bat.value -> Bat.value -> unit
+(** Log that cell [pos] changes from [old_value] to the new value. Repeated
+    updates of the same cell keep the first before-image and the last
+    after-image. *)
+
+val record_append : t -> Bat.value -> unit
+(** Log one appended tuple (appends are positionless until applied). *)
+
+val is_empty : t -> bool
+
+val update_count : t -> int
+
+val append_count : t -> int
+
+val read : t -> Bat.t -> int -> Bat.value
+(** [read d base oid] is the value of cell [oid] as seen through the delta:
+    the pending after-image if the transaction updated it, the pending
+    appended value if [oid] lies past the base, else the base value. *)
+
+val apply : t -> Bat.t -> unit
+(** Carry the delta through into the base BAT: apply all updates, then all
+    appends in order. *)
+
+val undo : t -> Bat.t -> unit
+(** Restore before-images in the base and truncate appends — used only by
+    recovery when a crash interrupted a partially-applied commit. *)
+
+val iter_updates : (pos:int -> old_value:Bat.value -> Bat.value -> unit) -> t -> unit
+(** Iterate updates in first-recorded order. *)
+
+val iter_appends : (Bat.value -> unit) -> t -> unit

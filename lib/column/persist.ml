@@ -1,0 +1,134 @@
+let frame_magic = 0xB0DECA
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let int b x =
+    for i = 0 to 7 do
+      Buffer.add_char b (Char.chr ((x asr (8 * i)) land 0xff))
+    done
+
+  let string b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let int_array b a =
+    int b (Array.length a);
+    Array.iter (int b) a
+
+  let varray b v = int_array b (Varray.to_array v)
+
+  let strpool b p =
+    int b (Strpool.length p);
+    Strpool.iteri (fun _ s -> string b s) p
+
+  let dict b d =
+    int b (Dict.cardinal d);
+    Dict.iteri (fun _ s -> string b s) d
+
+  let contents = Buffer.contents
+end
+
+module Dec = struct
+  type t = { data : string; mutable off : int }
+
+  exception Corrupt of string
+
+  let of_string data = { data; off = 0 }
+
+  let need d n =
+    if d.off + n > String.length d.data then
+      raise (Corrupt (Printf.sprintf "truncated payload at offset %d" d.off))
+
+  let int d =
+    need d 8;
+    let x = ref 0 in
+    for i = 7 downto 0 do
+      x := (!x lsl 8) lor Char.code d.data.[d.off + i]
+    done;
+    d.off <- d.off + 8;
+    !x
+
+  let len_checked d what n =
+    if n < 0 || n > String.length d.data - d.off then
+      raise (Corrupt (Printf.sprintf "bad %s length %d" what n));
+    n
+
+  let string d =
+    let n = len_checked d "string" (int d) in
+    need d n;
+    let s = String.sub d.data d.off n in
+    d.off <- d.off + n;
+    s
+
+  let int_array d =
+    let n = int d in
+    if n < 0 || n > (String.length d.data - d.off) / 8 then
+      raise (Corrupt (Printf.sprintf "bad array length %d" n));
+    Array.init n (fun _ -> int d)
+
+  let varray d = Varray.of_array (int_array d)
+
+  let strpool d =
+    let n = len_checked d "strpool" (int d) in
+    let p = Strpool.create ~capacity:(max n 1) () in
+    for _ = 1 to n do
+      ignore (Strpool.push p (string d))
+    done;
+    p
+
+  let dict d =
+    let n = len_checked d "dict" (int d) in
+    let dict = Dict.create ~capacity:(max n 1) () in
+    for _ = 1 to n do
+      ignore (Dict.intern dict (string d))
+    done;
+    dict
+
+  let at_end d = d.off = String.length d.data
+end
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+let write_frame oc payload =
+  let hdr = Enc.create () in
+  Enc.int hdr frame_magic;
+  Enc.int hdr (String.length payload);
+  Enc.int hdr (adler32 payload);
+  output_string oc (Enc.contents hdr);
+  output_string oc payload;
+  flush oc
+
+let really_input_opt ic n =
+  let b = Bytes.create n in
+  match really_input ic b 0 n with
+  | () -> Some (Bytes.to_string b)
+  | exception End_of_file -> None
+
+let read_frame ic =
+  match really_input_opt ic 24 with
+  | None -> None
+  | Some hdr -> (
+    let d = Dec.of_string hdr in
+    match
+      let magic = Dec.int d in
+      let len = Dec.int d in
+      let crc = Dec.int d in
+      (magic, len, crc)
+    with
+    | exception Dec.Corrupt _ -> None
+    | magic, len, crc ->
+      if magic <> frame_magic || len < 0 then None
+      else (
+        match really_input_opt ic len with
+        | None -> None
+        | Some payload -> if adler32 payload = crc then Some payload else None))

@@ -1,0 +1,62 @@
+(** Binary persistence: a little-endian codec plus checksummed frames.
+
+    Frames are the durability unit of the WAL and checkpoint files: each
+    frame is [magic, payload-length, adler32(payload), payload].  A torn
+    write (crash mid-frame) is detected by a short read or a checksum
+    mismatch, and {!read_frame} reports it as end-of-log, which is exactly
+    the semantics recovery needs. *)
+
+(** Append-only encoder. *)
+module Enc : sig
+  type t
+
+  val create : unit -> t
+
+  val int : t -> int -> unit
+  (** Full 64-bit two's-complement integer (NULL sentinel survives). *)
+
+  val string : t -> string -> unit
+
+  val int_array : t -> int array -> unit
+
+  val varray : t -> Varray.t -> unit
+
+  val strpool : t -> Strpool.t -> unit
+
+  val dict : t -> Dict.t -> unit
+
+  val contents : t -> string
+end
+
+(** Sequential decoder over one frame payload. *)
+module Dec : sig
+  type t
+
+  exception Corrupt of string
+  (** Raised on any malformed payload. *)
+
+  val of_string : string -> t
+
+  val int : t -> int
+
+  val string : t -> string
+
+  val int_array : t -> int array
+
+  val varray : t -> Varray.t
+
+  val strpool : t -> Strpool.t
+
+  val dict : t -> Dict.t
+
+  val at_end : t -> bool
+end
+
+val adler32 : string -> int
+
+val write_frame : out_channel -> string -> unit
+(** Append one checksummed frame and flush. *)
+
+val read_frame : in_channel -> string option
+(** Next frame payload, or [None] at end-of-file {e or} on a torn/corrupt
+    frame (recovery treats both as the end of the valid log prefix). *)

@@ -1,0 +1,84 @@
+type t = {
+  mgr : Txn.manager;
+  schema : Validate.t option;
+  wal_handle : Wal.t option;
+}
+
+module E = Engine.Make (View)
+
+let create ?page_bits ?fill ?wal_path ?schema doc =
+  let base = Schema_up.of_dom ?page_bits ?fill doc in
+  let wal_handle = Option.map Wal.open_log wal_path in
+  { mgr = Txn.manager ?wal:wal_handle base; schema; wal_handle }
+
+let of_xml ?page_bits ?fill ?wal_path ?schema src =
+  create ?page_bits ?fill ?wal_path ?schema (Xml.Xml_parser.parse ~strip_ws:true src)
+
+let store t = Txn.store t.mgr
+
+let manager t = t.mgr
+
+let checkpoint t path =
+  (* Taken under the global read lock: a consistent committed snapshot, with
+     the LSN so recovery skips WAL records the snapshot already contains. *)
+  Txn.read t.mgr (fun _ ->
+      let enc = Column.Persist.Enc.create () in
+      Column.Persist.Enc.int enc (Txn.last_committed t.mgr);
+      Schema_up.save (store t) enc;
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Column.Persist.write_frame oc (Column.Persist.Enc.contents enc)))
+
+let open_recovered ?wal_path ?schema ~checkpoint () =
+  let ic = open_in_bin checkpoint in
+  let payload =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match Column.Persist.read_frame ic with
+        | Some p -> p
+        | None -> failwith ("corrupt checkpoint: " ^ checkpoint))
+  in
+  let dec = Column.Persist.Dec.of_string payload in
+  let lsn = Column.Persist.Dec.int dec in
+  let base = Schema_up.load dec in
+  let wal_path = Option.value ~default:(checkpoint ^ ".wal") wal_path in
+  let _, last = Txn.recover ~after:lsn ~wal_path base in
+  let wal_handle = Some (Wal.open_log wal_path) in
+  { mgr = Txn.manager ?wal:wal_handle ~next_txn:(last + 1) base; schema; wal_handle }
+
+let close t = Option.iter Wal.close t.wal_handle
+
+let read t f = Txn.read t.mgr f
+
+let query t src =
+  let path = Xpath.Xpath_parser.parse src in
+  read t (fun v -> E.eval_items v path)
+
+let query_strings t src =
+  let path = Xpath.Xpath_parser.parse src in
+  read t (fun v -> List.map (E.item_string v) (E.eval_items v path))
+
+let query_count t src = List.length (query t src)
+
+let to_xml ?indent t =
+  let module Ser = Node_serialize.Make (View) in
+  read t (fun v -> Ser.to_string ?indent v)
+
+let with_write t f =
+  let validate = Option.map Validate.checker t.schema in
+  Txn.with_write t.mgr ?validate f
+
+let update t src =
+  let cmds = Xupdate.parse src in
+  with_write t (fun v -> Xupdate.apply v cmds)
+
+let vacuum ?fill ?checkpoint_to t =
+  (match t.wal_handle, checkpoint_to with
+  | Some _, None ->
+    invalid_arg
+      "Db.vacuum: compaction invalidates the WAL; pass ~checkpoint_to"
+  | (Some _ | None), _ -> ());
+  Txn.vacuum ?fill t.mgr;
+  Option.iter (checkpoint t) checkpoint_to

@@ -1,0 +1,80 @@
+(** The database facade: an ACID XML store on the updateable schema.
+
+    Ties the pieces together: shred a document, query it with XPath, update
+    it with XUpdate inside transactions, checkpoint to disk, recover from
+    checkpoint + WAL. *)
+
+type t
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?page_bits:int ->
+  ?fill:float ->
+  ?wal_path:string ->
+  ?schema:Validate.t ->
+  Xml.Dom.t ->
+  t
+(** Shred a document into a fresh store. When [wal_path] is given, every
+    commit appends a WAL frame there. [schema] is validated at every
+    commit. *)
+
+val of_xml :
+  ?page_bits:int -> ?fill:float -> ?wal_path:string -> ?schema:Validate.t ->
+  string -> t
+(** [create] from XML text (whitespace-only text is stripped, as for
+    benchmark documents). *)
+
+val checkpoint : t -> string -> unit
+(** Write a checkpoint file. The WAL is {e not} truncated — see
+    {!open_recovered} which replays the whole log over any checkpoint. *)
+
+val open_recovered :
+  ?wal_path:string -> ?schema:Validate.t -> checkpoint:string -> unit -> t
+(** Load a checkpoint, replay the intact WAL prefix, and continue logging to
+    [wal_path] (default: the same path). Returns the recovered store. *)
+
+val store : t -> Schema_up.t
+
+val manager : t -> Txn.manager
+
+val close : t -> unit
+(** Close the WAL channel (if any). *)
+
+(** {1 Queries (read transactions)} *)
+
+module E : module type of Engine.Make (View)
+
+val query : t -> string -> E.item list
+(** Evaluate an XPath under the shared global read lock. *)
+
+val query_strings : t -> string -> string list
+
+val query_count : t -> string -> int
+
+val to_xml : ?indent:bool -> t -> string
+(** Serialise the whole document. *)
+
+(** {1 Updates (write transactions)} *)
+
+val update : t -> string -> int
+(** Parse and apply an XUpdate document in one write transaction; returns
+    the number of affected targets. Raises {!Txn.Aborted} on validation
+    failure or deadlock timeout, {!Xupdate.Apply_error} on bad targets. *)
+
+val with_write : t -> (View.t -> 'a) -> 'a
+(** Run arbitrary update logic (via {!Update} / {!Xupdate}) in one write
+    transaction. *)
+
+val read : t -> (View.t -> 'a) -> 'a
+(** Run read-only logic under the shared global lock. *)
+
+(** {1 Maintenance} *)
+
+val vacuum : ?fill:float -> ?checkpoint_to:string -> t -> unit
+(** Compact the store: re-pack live tuples at the [fill] factor (default
+    0.8), restore the identity pageOffset, drop attribute tombstones. Node
+    handles stay valid. Compaction physically relocates tuples, which
+    invalidates WAL replay positions, so when a WAL is active a
+    [checkpoint_to] path is required — the checkpoint is written immediately
+    after compaction (raises [Invalid_argument] otherwise). *)

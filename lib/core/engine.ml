@@ -1,0 +1,207 @@
+open Xpath.Xpath_ast
+
+module Make (S : Storage_intf.S) = struct
+  module Sj = Staircase.Make (S)
+
+  type item =
+    | Node of int
+    | Attribute of { owner : int; qn : Xml.Qname.t; value : string }
+
+  (* The virtual document node: parent of the root element. It is never
+     returned in results; it only seeds absolute paths. *)
+  let doc_node = -1
+
+  let string_value t pre =
+    match S.kind t pre with
+    | Kind.Text | Kind.Comment | Kind.Pi -> S.content t pre
+    | Kind.Element ->
+      let b = Buffer.create 32 in
+      Sj.iter_descendants t pre (fun d ->
+          match S.kind t d with
+          | Kind.Text -> Buffer.add_string b (S.content t d)
+          | Kind.Element | Kind.Comment | Kind.Pi -> ());
+      Buffer.contents b
+
+  let item_string t = function
+    | Node pre -> string_value t pre
+    | Attribute a -> a.value
+
+  let matches_test t test pre =
+    match test with
+    | Kind_node -> true
+    | Wildcard -> S.kind t pre = Kind.Element
+    | Name q -> (
+      S.kind t pre = Kind.Element
+      &&
+      match S.qn_id t q with Some id -> S.name_id t pre = id | None -> false)
+    | Kind_text -> S.kind t pre = Kind.Text
+    | Kind_comment -> S.kind t pre = Kind.Comment
+    | Kind_pi None -> S.kind t pre = Kind.Pi
+    | Kind_pi (Some target) ->
+      S.kind t pre = Kind.Pi && String.equal (S.pi_target t pre) target
+
+  (* Axis application for one context, handling the virtual document node.
+     Results come back in axis order. *)
+  let axis_one t axis ctx =
+    if ctx <> doc_node then Sj.axis_of_one t axis ctx
+    else
+      let root = S.root_pre t in
+      match axis with
+      | Child -> [ root ]
+      | Descendant | Descendant_or_self -> root :: Sj.descendants t [ root ]
+      | Self | Parent | Ancestor | Ancestor_or_self | Following | Preceding
+      | Following_sibling | Preceding_sibling ->
+        []
+      | Attribute -> invalid_arg "Engine: attribute axis on the document node"
+
+  let contains_sub ~needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+
+  type value_result = VStr of string | VNum of float | VNone
+
+  let rec eval_steps t ctxs steps =
+    match steps with
+    | [] -> List.map (fun c -> Node c) ctxs
+    | [ { axis = Attribute; test; preds } ] ->
+      let attrs =
+        List.concat_map
+          (fun ctx ->
+            if ctx = doc_node then []
+            else if S.kind t ctx <> Kind.Element then []
+            else
+              List.filter_map
+                (fun (qn, value) ->
+                  let keep =
+                    match test with
+                    | Name q -> Xml.Qname.equal q qn
+                    | Wildcard | Kind_node -> true
+                    | Kind_text | Kind_comment | Kind_pi _ -> false
+                  in
+                  if keep then Some (Attribute { owner = ctx; qn; value }) else None)
+                (S.attributes t ctx))
+          ctxs
+      in
+      List.fold_left (fun items p -> apply_pred_items t items p) attrs preds
+    | { axis = Attribute; _ } :: _ :: _ ->
+      invalid_arg "Engine: attribute axis must be the final step"
+    | { axis; test; preds } :: rest ->
+      let out =
+        List.concat_map
+          (fun ctx ->
+            let candidates =
+              List.filter (matches_test t test) (axis_one t axis ctx)
+            in
+            let items = List.map (fun c -> Node c) candidates in
+            let survivors =
+              List.fold_left (fun items p -> apply_pred_items t items p) items preds
+            in
+            List.filter_map (function Node c -> Some c | Attribute _ -> None) survivors)
+          ctxs
+      in
+      eval_steps t (List.sort_uniq compare out) rest
+
+  (* Predicates filter an ordered candidate list; positions are 1-based
+     indices into the list surviving the previous predicate. *)
+  and apply_pred_items t items pred =
+    match pred with
+    | Pos n -> ( match List.nth_opt items (n - 1) with Some it -> [ it ] | None -> [])
+    | Last -> ( match List.rev items with it :: _ -> [ it ] | [] -> [])
+    | _ -> List.filter (fun it -> eval_pred t it pred) items
+
+  and eval_pred t it pred =
+    match pred with
+    | Pos _ | Last -> assert false (* handled positionally above *)
+    | And (a, b) -> eval_pred t it a && eval_pred t it b
+    | Or (a, b) -> eval_pred t it a || eval_pred t it b
+    | Not p -> not (eval_pred t it p)
+    | Exists p -> eval_rel t it p <> []
+    | Contains (a, b) -> (
+      match eval_value t it a, eval_value t it b with
+      | (VStr _ | VNum _), VNone | VNone, _ -> false
+      | va, vb -> contains_sub ~needle:(to_string vb) (to_string va))
+    | Cmp (a, op, b) -> (
+      match eval_value t it a, eval_value t it b with
+      | VNone, _ | _, VNone -> false
+      | va, vb -> compare_values va op vb)
+
+  and to_string = function
+    | VStr s -> s
+    | VNum f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+    | VNone -> ""
+
+  and compare_values va op vb =
+    let numeric =
+      match va, vb with
+      | VNum _, _ | _, VNum _ -> true
+      | VStr _, VStr _ -> false
+      | VNone, _ | _, VNone -> false
+    in
+    if numeric then
+      let num = function
+        | VNum f -> Some f
+        | VStr s -> float_of_string_opt (String.trim s)
+        | VNone -> None
+      in
+      match num va, num vb with
+      | Some x, Some y -> (
+        match op with
+        | Eq -> x = y
+        | Neq -> x <> y
+        | Lt -> x < y
+        | Le -> x <= y
+        | Gt -> x > y
+        | Ge -> x >= y)
+      | None, _ | _, None -> false
+    else
+      let x = to_string va and y = to_string vb in
+      match op with
+      | Eq -> String.equal x y
+      | Neq -> not (String.equal x y)
+      | Lt -> String.compare x y < 0
+      | Le -> String.compare x y <= 0
+      | Gt -> String.compare x y > 0
+      | Ge -> String.compare x y >= 0
+
+  and eval_value t it = function
+    | Lit_str s -> VStr s
+    | Lit_num f -> VNum f
+    | Ctx_string -> VStr (item_string t it)
+    | Path_string p -> (
+      match eval_rel t it p with
+      | [] -> VNone
+      | first :: _ -> VStr (item_string t first))
+    | Count p -> VNum (float_of_int (List.length (eval_rel t it p)))
+
+  (* Relative path from a predicate's context item. *)
+  and eval_rel t it p =
+    if p.absolute then eval_steps t [ doc_node ] p.steps
+    else
+      match it with
+      | Node ctx -> eval_steps t [ ctx ] p.steps
+      | Attribute _ -> [] (* no forward axes from attribute nodes *)
+
+  let eval_items t ?context p =
+    if p.absolute then
+      if p.steps = [] then [ Node (S.root_pre t) ] else eval_steps t [ doc_node ] p.steps
+    else
+      let ctxs = match context with Some c -> c | None -> [ S.root_pre t ] in
+      eval_steps t ctxs p.steps
+
+  let eval_nodes t ?context p =
+    List.map
+      (function
+        | Node pre -> pre
+        | Attribute _ -> invalid_arg "Engine.eval_nodes: attribute result")
+      (eval_items t ?context p)
+
+  let eval_string t ?context p =
+    match eval_items t ?context p with
+    | [] -> None
+    | it :: _ -> Some (item_string t it)
+
+  let count t ?context p = List.length (eval_items t ?context p)
+
+  let parse_eval t src = eval_items t (Xpath.Xpath_parser.parse src)
+end

@@ -1,0 +1,42 @@
+(** XPath evaluation over a storage schema.
+
+    A thin layer over {!Staircase} that adds node tests, predicates and the
+    attribute axis.  Instantiated over both schemas, so the Figure 9
+    comparison runs byte-identical query code against the two storage
+    representations.
+
+    Simplifications relative to XPath 1.0 (documented in README):
+    - a relative path used as a comparison operand contributes the string
+      value of its {e first} result node only;
+    - comparisons where either operand is numeric are numeric (non-numeric
+      strings compare false); otherwise string comparison;
+    - the attribute axis is only valid as the final step of a path. *)
+
+module Make (S : Storage_intf.S) : sig
+  type item =
+    | Node of int  (** a tree node, by pre *)
+    | Attribute of { owner : int; qn : Xml.Qname.t; value : string }
+
+  val string_value : S.t -> int -> string
+  (** XPath string value: text content of a text/comment/PI node, the
+      concatenation of descendant text nodes for an element. *)
+
+  val item_string : S.t -> item -> string
+
+  val eval_items : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> item list
+  (** Evaluate a path. Relative paths start from [context] (default: the
+      root element); absolute paths always start from the virtual document
+      node. Node results are in document order, duplicate-free. *)
+
+  val eval_nodes : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> int list
+  (** Like {!eval_items} but attribute results raise [Invalid_argument]
+      (update targets must be tree nodes). *)
+
+  val eval_string : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> string option
+  (** String value of the first result, if any. *)
+
+  val count : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> int
+
+  val parse_eval : S.t -> string -> item list
+  (** Parse and evaluate in one call (raises {!Xpath.Xpath_parser.Syntax_error}). *)
+end

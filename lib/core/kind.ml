@@ -1,0 +1,20 @@
+type t = Element | Text | Comment | Pi
+
+let to_int = function Element -> 0 | Text -> 1 | Comment -> 2 | Pi -> 3
+
+let of_int = function
+  | 0 -> Element
+  | 1 -> Text
+  | 2 -> Comment
+  | 3 -> Pi
+  | k -> invalid_arg (Printf.sprintf "Kind.of_int: %d" k)
+
+let to_string = function
+  | Element -> "element"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Pi -> "processing-instruction"
+
+let equal a b = a = b
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

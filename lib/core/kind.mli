@@ -1,0 +1,20 @@
+(** Node kinds stored in the [kind] column.
+
+    Figure 5/6 of the paper: the [kind] column "determines to which table
+    [ref] refers" — elements reference the qualified-name table, the other
+    kinds reference their value pools. Attributes are not tree nodes; they
+    live in the side [attr] table. *)
+
+type t = Element | Text | Comment | Pi
+
+val to_int : t -> int
+(** Stable encoding for the int column: 0..3. *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside 0..3. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** The lock manager (paper §3.2).
+
+    Two levels, as in Figure 8:
+    - a {e global} lock: read-only queries hold it shared for their whole
+      run; a committing write transaction takes it exclusively for the short
+      apply phase ("get global write-lock");
+    - {e page} locks, acquired incrementally by write transactions — shared
+      while reading during XPath execution, exclusive for pages whose tuples
+      the transaction rewrites.  Ancestor [size] maintenance deliberately
+      takes {e no} page lock: it travels as commutative deltas.
+
+    Lock-upgrade (read → write) is supported for the sole reader. Writers
+    that cannot make progress within the timeout receive {!Would_deadlock}
+    and are expected to abort — a simple timeout scheme standing in for a
+    waits-for graph. *)
+
+type t
+
+exception Would_deadlock of { owner : int; page : int }
+
+val create : ?timeout_s:float -> unit -> t
+(** [timeout_s] bounds every blocking page-lock acquisition (default 1.0). *)
+
+(** {1 Global lock} *)
+
+val with_global_read : t -> (unit -> 'a) -> 'a
+
+val with_global_write : t -> (unit -> 'a) -> 'a
+
+(** {1 Page locks} *)
+
+val acquire_page : t -> owner:int -> page:int -> write:bool -> unit
+(** Blocking; re-entrant (holding suffices); upgrades a held read lock when
+    compatible. Raises {!Would_deadlock} on timeout. *)
+
+val holds : t -> owner:int -> page:int -> [ `None | `Read | `Write ]
+
+val release_all : t -> owner:int -> unit
+(** Release every page lock held by an owner (end of commit / abort). *)
+
+(** {1 Introspection (tests, benches)} *)
+
+val locked_pages : t -> owner:int -> int list

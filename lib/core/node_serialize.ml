@@ -1,0 +1,24 @@
+module Make (S : Storage_intf.S) = struct
+  module Sj = Staircase.Make (S)
+
+  let rec to_dom_node t pre =
+    match S.kind t pre with
+    | Kind.Text -> Xml.Dom.Text (S.content t pre)
+    | Kind.Comment -> Xml.Dom.Comment (S.content t pre)
+    | Kind.Pi -> Xml.Dom.Pi { target = S.pi_target t pre; data = S.content t pre }
+    | Kind.Element ->
+      let children = List.map (to_dom_node t) (Sj.children t [ pre ]) in
+      Xml.Dom.Element
+        { name = S.qname t pre; attrs = S.attributes t pre; children }
+
+  let to_dom t =
+    match to_dom_node t (S.root_pre t) with
+    | Xml.Dom.Element root -> { Xml.Dom.root }
+    | Xml.Dom.Text _ | Xml.Dom.Comment _ | Xml.Dom.Pi _ ->
+      invalid_arg "Node_serialize.to_dom: root is not an element"
+
+  let to_string ?indent t = Xml.Xml_serialize.to_string ?indent (to_dom t)
+
+  let subtree_to_string ?indent t pre =
+    Xml.Xml_serialize.node_to_string ?indent (to_dom_node t pre)
+end

@@ -1,0 +1,18 @@
+(** Reconstructing XML from storage — the serialisation side of the system.
+
+    Round-trip law (tested): [to_dom (Schema.of_dom d)] is structurally equal
+    to [d], on both schemas, before and after any sequence of updates that
+    leaves an equivalent document. *)
+
+module Make (S : Storage_intf.S) : sig
+  val to_dom_node : S.t -> int -> Xml.Dom.node
+  (** Rebuild the subtree rooted at a used pre position. *)
+
+  val to_dom : S.t -> Xml.Dom.t
+  (** Rebuild the whole document from the root element. *)
+
+  val to_string : ?indent:bool -> S.t -> string
+  (** Serialise the whole document as XML text. *)
+
+  val subtree_to_string : ?indent:bool -> S.t -> int -> string
+end

@@ -1,0 +1,30 @@
+(** The original read-only storage schema (paper Figure 5).
+
+    One tuple per document node in a table whose void key {e is} the pre
+    number; [size]/[level] complete the pre/post-plane encoding
+    ([post = pre + size - level]).  Attributes reference their owner's pre
+    directly.  This schema delivers the fastest possible positional access,
+    and is immutable: any structural change would shift pre values, which a
+    void column cannot represent — that is the paper's problem statement. *)
+
+type t
+
+val of_dom : Xml.Dom.t -> t
+(** Shred a document. *)
+
+include Storage_intf.S with type t := t
+
+(** {1 Introspection} *)
+
+type stats = {
+  slots : int;  (** tuples in the node table (= live nodes here) *)
+  nodes : int;  (** live document nodes *)
+  attrs : int;
+  distinct_qnames : int;
+  distinct_props : int;
+  approx_bytes : int;  (** storage footprint estimate, 8 bytes per int cell *)
+}
+
+val stats : t -> stats
+
+val attr_count : t -> int

@@ -1,0 +1,761 @@
+open Column
+
+type col = Csize | Clevel | Ckind | Cname | Cnode
+
+type t = {
+  pbits : int;
+  mutable map : Pagemap.t;
+  size : Varray.t;
+  level : Varray.t;
+  kind : Varray.t;
+  name : Varray.t;
+  node : Varray.t;
+  node_pos : Varray.t; (* node id -> pos, NULL when freed *)
+  mutable free_nodes : int list; (* recyclable node ids *)
+  mutable live : int; (* used slots *)
+  qn : Dict.t;
+  props : Dict.t;
+  text_pool : Strpool.t;
+  comment_pool : Strpool.t;
+  pi_target_pool : Strpool.t;
+  pi_data_pool : Strpool.t;
+  attr_node : Varray.t; (* owner node id, NULL = tombstone *)
+  attr_qn : Varray.t;
+  attr_prop : Varray.t;
+  attr_index : (int, int list) Hashtbl.t; (* node id -> rows, reverse order *)
+  stamps : Varray.t; (* per physical page: LSN of the last modifying commit *)
+  shared_mu : Mutex.t;
+      (* guards the appenders shared by concurrent staging transactions:
+         node-id allocator, dictionaries, value pools *)
+}
+
+let default_page_bits = 12
+
+let create ?(page_bits = default_page_bits) () =
+  { pbits = page_bits;
+    map = Pagemap.create ~bits:page_bits;
+    size = Varray.create ();
+    level = Varray.create ();
+    kind = Varray.create ();
+    name = Varray.create ();
+    node = Varray.create ();
+    node_pos = Varray.create ();
+    free_nodes = [];
+    live = 0;
+    qn = Dict.create ();
+    props = Dict.create ();
+    text_pool = Strpool.create ();
+    comment_pool = Strpool.create ();
+    pi_target_pool = Strpool.create ();
+    pi_data_pool = Strpool.create ();
+    attr_node = Varray.create ();
+    attr_qn = Varray.create ();
+    attr_prop = Varray.create ();
+    attr_index = Hashtbl.create 64;
+    stamps = Varray.create ();
+    shared_mu = Mutex.create () }
+
+(* ------------------------------------------------------- physical layer *)
+
+let page_bits t = t.pbits
+
+let page_size t = 1 lsl t.pbits
+
+let npages t = Pagemap.npages t.map
+
+let capacity t = Pagemap.capacity t.map
+
+let pagemap t = t.map
+
+let set_pagemap t m =
+  if Pagemap.bits m <> t.pbits || Pagemap.npages m <> npages t then
+    invalid_arg "Schema_up.set_pagemap: page geometry mismatch";
+  t.map <- m
+
+(* Hot path: every view access swizzles pre -> pos. MonetDB's memory-mapped
+   view gets this for free from the MMU; here it is two shifts, a mask and an
+   unchecked array load (indices are valid whenever pre < extent, which all
+   callers establish). *)
+let pos_of_pre t pre =
+  let mask = (1 lsl t.pbits) - 1 in
+  (Array.unsafe_get (Pagemap.unsafe_l2p t.map) (pre lsr t.pbits) lsl t.pbits)
+  lor (pre land mask)
+
+let pre_of_pos t pos =
+  let mask = (1 lsl t.pbits) - 1 in
+  (Array.unsafe_get (Pagemap.unsafe_p2l t.map) (pos lsr t.pbits) lsl t.pbits)
+  lor (pos land mask)
+
+let column t = function
+  | Csize -> t.size
+  | Clevel -> t.level
+  | Ckind -> t.kind
+  | Cname -> t.name
+  | Cnode -> t.node
+
+let get_cell t c pos = Varray.get (column t c) pos
+
+let set_cell t c pos v = Varray.set (column t c) pos v
+
+(* Fresh pages come up all-unused: level NULL, free runs covering the page. *)
+let blank_page t phys =
+  let p = page_size t in
+  Varray.ensure_length t.stamps (phys + 1) 0;
+  let base = phys * p in
+  Varray.ensure_length t.size (base + p) 0;
+  Varray.ensure_length t.level (base + p) 0;
+  Varray.ensure_length t.kind (base + p) 0;
+  Varray.ensure_length t.name (base + p) 0;
+  Varray.ensure_length t.node (base + p) 0;
+  for off = 0 to p - 1 do
+    Varray.set t.level (base + off) Varray.null;
+    Varray.set t.size (base + off) (p - 1 - off);
+    Varray.set t.kind (base + off) (Kind.to_int Kind.Text);
+    Varray.set t.name (base + off) 0;
+    Varray.set t.node (base + off) Varray.null
+  done
+
+let append_pages t ~at_logical ~count =
+  let fresh = Pagemap.splice t.map ~at:at_logical ~count in
+  List.iter (blank_page t) fresh;
+  fresh
+
+let grow_pages t ~count =
+  let fresh = List.init count (fun _ -> Pagemap.append_page t.map) in
+  List.iter (blank_page t) fresh;
+  fresh
+
+let recompute_free_runs t ~phys_page =
+  let p = page_size t in
+  let base = phys_page * p in
+  let following = ref 0 in
+  for off = p - 1 downto 0 do
+    if Varray.get t.level (base + off) = Varray.null then begin
+      Varray.set t.size (base + off) !following;
+      incr following
+    end
+    else following := 0
+  done
+
+let page_stamp t phys =
+  if phys < Varray.length t.stamps then Varray.get t.stamps phys else 0
+
+let stamp_page t phys lsn =
+  Varray.ensure_length t.stamps (phys + 1) 0;
+  Varray.set t.stamps phys lsn
+
+let used_in_page t ~phys_page =
+  let p = page_size t in
+  let base = phys_page * p in
+  let used = ref 0 in
+  for off = 0 to p - 1 do
+    if Varray.get t.level (base + off) <> Varray.null then incr used
+  done;
+  !used
+
+(* --------------------------------------------------------- the pre view *)
+
+let extent t = capacity t
+
+let node_count t = t.live
+
+let is_used t pre = Varray.get t.level (pos_of_pre t pre) <> Varray.null
+
+let next_used t pre =
+  let stop = extent t in
+  let level = Varray.unsafe_data t.level in
+  let size = Varray.unsafe_data t.size in
+  let pre = ref pre in
+  while
+    !pre < stop
+    &&
+    let pos = pos_of_pre t !pre in
+    if Array.unsafe_get level pos = Varray.null then begin
+      (* Page-local free run: hop over it in one step. *)
+      pre := !pre + Array.unsafe_get size pos + 1;
+      true
+    end
+    else false
+  do
+    ()
+  done;
+  min !pre stop
+
+let prev_used t pre =
+  let mask = page_size t - 1 in
+  let pre = ref (min pre (extent t - 1)) in
+  let continue = ref true in
+  while !pre >= 0 && !continue do
+    if Varray.get t.level (pos_of_pre t !pre) <> Varray.null then continue := false
+    else begin
+      let page_first = !pre land lnot mask in
+      let first_pos = pos_of_pre t page_first in
+      if
+        Varray.get t.level first_pos = Varray.null
+        && page_first + Varray.get t.size first_pos >= !pre
+      then pre := page_first - 1 (* the whole prefix of this page is unused *)
+      else decr pre
+    end
+  done;
+  if !pre < 0 then -1 else !pre
+
+let size t pre = Array.unsafe_get (Varray.unsafe_data t.size) (pos_of_pre t pre)
+
+let level t pre = Array.unsafe_get (Varray.unsafe_data t.level) (pos_of_pre t pre)
+
+let kind t pre =
+  Kind.of_int (Array.unsafe_get (Varray.unsafe_data t.kind) (pos_of_pre t pre))
+
+let name_id t pre = Array.unsafe_get (Varray.unsafe_data t.name) (pos_of_pre t pre)
+
+let qname t pre =
+  match kind t pre with
+  | Kind.Element -> Xml.Qname.of_string (Dict.to_string t.qn (name_id t pre))
+  | Kind.Text | Kind.Comment | Kind.Pi ->
+    invalid_arg "Schema_up.qname: not an element"
+
+let content t pre =
+  let r = name_id t pre in
+  match kind t pre with
+  | Kind.Text -> Strpool.get t.text_pool r
+  | Kind.Comment -> Strpool.get t.comment_pool r
+  | Kind.Pi -> Strpool.get t.pi_data_pool r
+  | Kind.Element -> invalid_arg "Schema_up.content: element node"
+
+let pi_target t pre =
+  match kind t pre with
+  | Kind.Pi -> Strpool.get t.pi_target_pool (name_id t pre)
+  | Kind.Element | Kind.Text | Kind.Comment ->
+    invalid_arg "Schema_up.pi_target: not a PI"
+
+let qn_id t q = Dict.find_opt t.qn (Xml.Qname.to_string q)
+
+let root_pre t = next_used t 0
+
+(* ------------------------------------------------------- node identity *)
+
+let node_ids t = Varray.length t.node_pos
+
+let node_pos_get t id = Varray.get t.node_pos id
+
+let node_pos_set t id pos = Varray.set t.node_pos id pos
+
+let locked t f =
+  Mutex.lock t.shared_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.shared_mu) f
+
+let fresh_node_id t =
+  locked t (fun () ->
+      match t.free_nodes with
+      | id :: rest ->
+        t.free_nodes <- rest;
+        id
+      | [] -> Varray.push t.node_pos Varray.null)
+
+let free_node_id t id =
+  locked t (fun () ->
+      Varray.set t.node_pos id Varray.null;
+      t.free_nodes <- id :: t.free_nodes)
+
+let ensure_node_ids t n = Varray.ensure_length t.node_pos n Varray.null
+
+let node_at t ~pre =
+  let pos = pos_of_pre t pre in
+  if Varray.get t.level pos = Varray.null then
+    invalid_arg "Schema_up.node_at: unused slot";
+  Varray.get t.node pos
+
+let pre_of_node t id =
+  if id < 0 || id >= node_ids t then None
+  else
+    let pos = Varray.get t.node_pos id in
+    if pos = Varray.null then None else Some (pre_of_pos t pos)
+
+(* ------------------------------------------------ dictionaries and pools *)
+
+let intern_qn t q = locked t (fun () -> Dict.intern t.qn (Xml.Qname.to_string q))
+
+let qn_of_id t id = Xml.Qname.of_string (Dict.to_string t.qn id)
+
+let intern_prop t s = locked t (fun () -> Dict.intern t.props s)
+
+let prop_of_id t id = Dict.to_string t.props id
+
+let push_text t s = locked t (fun () -> Strpool.push t.text_pool s)
+
+let push_comment t s = locked t (fun () -> Strpool.push t.comment_pool s)
+
+let push_pi t ~target ~data =
+  locked t (fun () ->
+      let r = Strpool.push t.pi_target_pool target in
+      let r' = Strpool.push t.pi_data_pool data in
+      assert (r = r');
+      r)
+
+let text_of_ref t r = Strpool.get t.text_pool r
+
+let comment_of_ref t r = Strpool.get t.comment_pool r
+
+let pi_target_of_ref t r = Strpool.get t.pi_target_pool r
+
+let pi_data_of_ref t r = Strpool.get t.pi_data_pool r
+
+(* -------------------------------------------------------------- attributes *)
+
+let attr_add t ~node ~qn ~prop =
+  let row = Varray.push t.attr_node node in
+  let _ = Varray.push t.attr_qn qn in
+  let _ = Varray.push t.attr_prop prop in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.attr_index node) in
+  Hashtbl.replace t.attr_index node (row :: prev);
+  row
+
+let attr_tombstone t ~row =
+  let node = Varray.get t.attr_node row in
+  if node <> Varray.null then begin
+    Varray.set t.attr_node row Varray.null;
+    match Hashtbl.find_opt t.attr_index node with
+    | None -> ()
+    | Some rows -> (
+      match List.filter (fun r -> r <> row) rows with
+      | [] -> Hashtbl.remove t.attr_index node
+      | rows' -> Hashtbl.replace t.attr_index node rows')
+  end
+
+let attr_rows_of_node t node =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.attr_index node))
+
+let attr_row t row =
+  (Varray.get t.attr_node row, Varray.get t.attr_qn row, Varray.get t.attr_prop row)
+
+let attr_table_len t = Varray.length t.attr_node
+
+let attr_live_count t =
+  Varray.fold_left (fun acc n -> if n <> Varray.null then acc + 1 else acc) 0 t.attr_node
+
+let attributes t pre =
+  (* The paper's indirection: a pre result is swizzled to its node id, and
+     the attribute table is probed by node id. *)
+  let node = node_at t ~pre in
+  List.map
+    (fun row ->
+      let _, qn, prop = attr_row t row in
+      (qn_of_id t qn, prop_of_id t prop))
+    (attr_rows_of_node t node)
+
+let attribute t pre q =
+  match qn_id t q with
+  | None -> None
+  | Some qid ->
+    let node = node_at t ~pre in
+    let rec scan = function
+      | [] -> None
+      | row :: rest ->
+        let _, qn, prop = attr_row t row in
+        if qn = qid then Some (prop_of_id t prop) else scan rest
+    in
+    scan (attr_rows_of_node t node)
+
+(* ------------------------------------------------------------ bookkeeping *)
+
+let add_live_nodes t d = t.live <- t.live + d
+
+(* ----------------------------------------------------------------- shred *)
+
+let of_dom ?(page_bits = default_page_bits) ?(fill = 0.8) d =
+  if fill <= 0.0 || fill > 1.0 then invalid_arg "Schema_up.of_dom: fill in (0,1]";
+  let t = create ~page_bits () in
+  let p = page_size t in
+  let used_per_page = max 1 (min p (int_of_float (Float.round (fill *. float_of_int p)))) in
+  let items = Shred.sequence d in
+  let n = Array.length items in
+  let pages = (n + used_per_page - 1) / used_per_page in
+  let fresh = grow_pages t ~count:(max pages 1) in
+  List.iter (fun _ -> ()) fresh;
+  (* Node ids are identical to pos at shredding time (paper §3.1); slack
+     slots register their ids as recyclable. *)
+  Varray.ensure_length t.node_pos (capacity t) Varray.null;
+  let touched = Hashtbl.create 64 in
+  Array.iteri
+    (fun i { Shred.size; level; payload } ->
+      let page = i / used_per_page in
+      let off = i mod used_per_page in
+      let pos = (page * p) + off in
+      Varray.set t.size pos size;
+      Varray.set t.level pos level;
+      Varray.set t.node pos pos;
+      Varray.set t.node_pos pos pos;
+      Hashtbl.replace touched page ();
+      (match payload with
+      | Shred.El (q, attrs) ->
+        Varray.set t.kind pos (Kind.to_int Kind.Element);
+        Varray.set t.name pos (intern_qn t q);
+        List.iter
+          (fun (aq, av) ->
+            let _ =
+              attr_add t ~node:pos ~qn:(intern_qn t aq) ~prop:(intern_prop t av)
+            in
+            ())
+          attrs
+      | Shred.Tx s ->
+        Varray.set t.kind pos (Kind.to_int Kind.Text);
+        Varray.set t.name pos (push_text t s)
+      | Shred.Cm s ->
+        Varray.set t.kind pos (Kind.to_int Kind.Comment);
+        Varray.set t.name pos (push_comment t s)
+      | Shred.Pr (target, data) ->
+        Varray.set t.kind pos (Kind.to_int Kind.Pi);
+        Varray.set t.name pos (push_pi t ~target ~data)))
+    items;
+  Hashtbl.iter (fun page () -> recompute_free_runs t ~phys_page:page) touched;
+  (* Slack node ids (pos slots left unused) are recyclable from the start. *)
+  for pos = capacity t - 1 downto 0 do
+    if Varray.get t.level pos = Varray.null then
+      t.free_nodes <- pos :: t.free_nodes
+  done;
+  t.live <- n;
+  t
+
+(* ------------------------------------------------------------------ vacuum *)
+
+let compact ?(fill = 0.8) t =
+  if fill <= 0.0 || fill > 1.0 then invalid_arg "Schema_up.compact: fill in (0,1]";
+  let p = page_size t in
+  let used_per_page = max 1 (min p (int_of_float (Float.round (fill *. float_of_int p)))) in
+  (* Collect live tuples in document (pre) order. *)
+  let live = t.live in
+  let osize = Array.make live 0
+  and olevel = Array.make live 0
+  and okind = Array.make live 0
+  and oname = Array.make live 0
+  and onode = Array.make live 0 in
+  let i = ref 0 in
+  let pre = ref (next_used t 0) in
+  while !pre < extent t do
+    let pos = pos_of_pre t !pre in
+    osize.(!i) <- Varray.get t.size pos;
+    olevel.(!i) <- Varray.get t.level pos;
+    okind.(!i) <- Varray.get t.kind pos;
+    oname.(!i) <- Varray.get t.name pos;
+    onode.(!i) <- Varray.get t.node pos;
+    incr i;
+    pre := next_used t (!pre + 1)
+  done;
+  assert (!i = live);
+  (* Fresh identity layout at the fill factor. *)
+  let pages = max 1 ((live + used_per_page - 1) / used_per_page) in
+  t.map <- Pagemap.create ~bits:t.pbits;
+  let cols = [ t.size; t.level; t.kind; t.name; t.node ] in
+  List.iter (fun c -> Varray.truncate c 0) cols;
+  Varray.truncate t.stamps 0;
+  for _ = 1 to pages do
+    blank_page t (Pagemap.append_page t.map)
+  done;
+  for j = 0 to live - 1 do
+    let page = j / used_per_page in
+    let off = j mod used_per_page in
+    let pos = (page * p) + off in
+    Varray.set t.size pos osize.(j);
+    Varray.set t.level pos olevel.(j);
+    Varray.set t.kind pos okind.(j);
+    Varray.set t.name pos oname.(j);
+    Varray.set t.node pos onode.(j);
+    Varray.set t.node_pos onode.(j) pos
+  done;
+  for page = 0 to pages - 1 do
+    recompute_free_runs t ~phys_page:page
+  done;
+  (* Re-pool every node id that no longer maps to a live slot. *)
+  let live_ids = Hashtbl.create live in
+  Array.iter (fun id -> Hashtbl.replace live_ids id ()) onode;
+  t.free_nodes <- [];
+  for id = node_ids t - 1 downto 0 do
+    if not (Hashtbl.mem live_ids id) then begin
+      Varray.set t.node_pos id Varray.null;
+      t.free_nodes <- id :: t.free_nodes
+    end
+  done;
+  (* Drop tombstoned attribute rows. *)
+  let keep = ref [] in
+  Varray.iteri
+    (fun row owner ->
+      if owner <> Varray.null then
+        keep := (owner, Varray.get t.attr_qn row, Varray.get t.attr_prop row) :: !keep)
+    t.attr_node;
+  Varray.truncate t.attr_node 0;
+  Varray.truncate t.attr_qn 0;
+  Varray.truncate t.attr_prop 0;
+  Hashtbl.reset t.attr_index;
+  List.iter
+    (fun (owner, qn, prop) -> ignore (attr_add t ~node:owner ~qn ~prop))
+    (List.rev !keep)
+
+(* ------------------------------------------------------------- persistence *)
+
+let save t enc =
+  let open Persist.Enc in
+  int enc t.pbits;
+  int_array enc (Pagemap.to_array t.map);
+  varray enc t.size;
+  varray enc t.level;
+  varray enc t.kind;
+  varray enc t.name;
+  varray enc t.node;
+  varray enc t.node_pos;
+  int enc t.live;
+  dict enc t.qn;
+  dict enc t.props;
+  strpool enc t.text_pool;
+  strpool enc t.comment_pool;
+  strpool enc t.pi_target_pool;
+  strpool enc t.pi_data_pool;
+  varray enc t.attr_node;
+  varray enc t.attr_qn;
+  varray enc t.attr_prop
+
+let rebuild_attr_index t =
+  Hashtbl.reset t.attr_index;
+  Varray.iteri
+    (fun row owner ->
+      if owner <> Varray.null then begin
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t.attr_index owner) in
+        Hashtbl.replace t.attr_index owner (row :: prev)
+      end)
+    t.attr_node
+
+let rebuild_transients t =
+  t.free_nodes <- [];
+  for id = node_ids t - 1 downto 0 do
+    if Varray.get t.node_pos id = Varray.null then t.free_nodes <- id :: t.free_nodes
+  done;
+  let live = ref 0 in
+  Varray.iteri (fun _ l -> if l <> Varray.null then incr live) t.level;
+  t.live <- !live;
+  rebuild_attr_index t
+
+let load dec =
+  let open Persist.Dec in
+  let pbits = int dec in
+  let map = Pagemap.of_array ~bits:pbits (int_array dec) in
+  let size = varray dec in
+  let level = varray dec in
+  let kind = varray dec in
+  let name = varray dec in
+  let node = varray dec in
+  let node_pos = varray dec in
+  let live = int dec in
+  let qn = dict dec in
+  let props = dict dec in
+  let text_pool = strpool dec in
+  let comment_pool = strpool dec in
+  let pi_target_pool = strpool dec in
+  let pi_data_pool = strpool dec in
+  let attr_node = varray dec in
+  let attr_qn = varray dec in
+  let attr_prop = varray dec in
+  let t =
+    { pbits; map; size; level; kind; name; node; node_pos; free_nodes = []; live;
+      qn; props; text_pool; comment_pool; pi_target_pool; pi_data_pool;
+      attr_node; attr_qn; attr_prop;
+      attr_index = Hashtbl.create 64;
+      stamps = Varray.make (Pagemap.npages map) 0;
+      shared_mu = Mutex.create () }
+  in
+  rebuild_transients t;
+  t.live <- live;
+  t
+
+let force_text t id s = Strpool.force_set t.text_pool id s
+
+let force_comment t id s = Strpool.force_set t.comment_pool id s
+
+let force_pi_target t id s = Strpool.force_set t.pi_target_pool id s
+
+let force_pi_data t id s = Strpool.force_set t.pi_data_pool id s
+
+let force_qn t id s = Dict.force t.qn id s
+
+let force_prop t id s = Dict.force t.props id s
+
+(* -------------------------------------------------------------- integrity *)
+
+let check_integrity t =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let p = page_size t in
+  let cap = capacity t in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () =
+    if
+      Varray.length t.size = cap && Varray.length t.level = cap
+      && Varray.length t.kind = cap && Varray.length t.name = cap
+      && Varray.length t.node = cap
+    then Ok ()
+    else fail "column lengths disagree with capacity %d" cap
+  in
+  (* pageOffset is a permutation with consistent inverse. *)
+  let* () =
+    let rec loop l =
+      if l >= npages t then Ok ()
+      else
+        let phys = Pagemap.phys_of_logical t.map l in
+        if phys < 0 || phys >= npages t then fail "pagemap: phys %d out of range" phys
+        else if Pagemap.logical_of_phys t.map phys <> l then
+          fail "pagemap: inverse mismatch at logical %d" l
+        else loop (l + 1)
+    in
+    loop 0
+  in
+  (* Page-local free runs. *)
+  let* () =
+    let err = ref None in
+    for page = 0 to npages t - 1 do
+      let following = ref 0 in
+      for off = p - 1 downto 0 do
+        let pos = (page * p) + off in
+        if Varray.get t.level pos = Varray.null then begin
+          if Varray.get t.size pos <> !following && !err = None then
+            err :=
+              Some
+                (Printf.sprintf "free run at pos %d: stored %d, actual %d" pos
+                   (Varray.get t.size pos) !following);
+          incr following
+        end
+        else following := 0
+      done
+    done;
+    match !err with None -> Ok () | Some m -> Error m
+  in
+  (* node/pos agreement both ways + live count. *)
+  let* () =
+    let used = ref 0 in
+    let err = ref None in
+    for pos = 0 to cap - 1 do
+      if Varray.get t.level pos <> Varray.null then begin
+        incr used;
+        let id = Varray.get t.node pos in
+        if id < 0 || id >= node_ids t then (
+          if !err = None then err := Some (Printf.sprintf "pos %d: bad node id %d" pos id))
+        else if Varray.get t.node_pos id <> pos && !err = None then
+          err :=
+            Some
+              (Printf.sprintf "pos %d: node/pos points to %d" pos
+                 (Varray.get t.node_pos id))
+      end
+    done;
+    for id = 0 to node_ids t - 1 do
+      let pos = Varray.get t.node_pos id in
+      if pos <> Varray.null then
+        if pos < 0 || pos >= cap then (
+          if !err = None then err := Some (Printf.sprintf "node %d: pos %d out of range" id pos))
+        else if Varray.get t.level pos = Varray.null then (
+          if !err = None then
+            err := Some (Printf.sprintf "node %d: points to unused pos %d" id pos))
+        else if Varray.get t.node pos <> id && !err = None then
+          err := Some (Printf.sprintf "node %d: pos %d holds node %d" id pos (Varray.get t.node pos))
+    done;
+    if !err <> None then Error (Option.get !err)
+    else if !used <> t.live then fail "live counter %d but %d used slots" t.live !used
+    else Ok ()
+  in
+  (* Tree shape over the view: levels nest properly and stored sizes equal
+     real descendant counts. *)
+  let* () =
+    let stack = ref [] in
+    (* (level, stored size, used-ordinal at node) *)
+    let ord = ref 0 in
+    let err = ref None in
+    let pop_while cond =
+      let rec go () =
+        match !stack with
+        | (lvl, stored, at) :: rest when cond lvl ->
+          let descendants = !ord - at - 1 in
+          if stored <> descendants && !err = None then
+            err :=
+              Some
+                (Printf.sprintf "node at ordinal %d: size %d but %d descendants"
+                   at stored descendants);
+          stack := rest;
+          go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    let pre = ref (next_used t 0) in
+    while !pre < extent t && !err = None do
+      let l = level t !pre in
+      pop_while (fun lvl -> lvl >= l);
+      (match !stack with
+      | [] ->
+        if !ord > 0 && !err = None then
+          err := Some (Printf.sprintf "second root at pre %d" !pre)
+        else if l <> 0 && !err = None then
+          err := Some (Printf.sprintf "root level %d at pre %d" l !pre)
+      | (plvl, _, _) :: _ ->
+        if plvl <> l - 1 && !err = None then
+          err := Some (Printf.sprintf "pre %d: level %d under parent level %d" !pre l plvl));
+      stack := (l, size t !pre, !ord) :: !stack;
+      incr ord;
+      pre := next_used t (!pre + 1)
+    done;
+    pop_while (fun _ -> true);
+    match !err with None -> Ok () | Some m -> Error m
+  in
+  (* Attribute table vs index. *)
+  let* () =
+    let err = ref None in
+    Varray.iteri
+      (fun row owner ->
+        if owner <> Varray.null then begin
+          if owner < 0 || owner >= node_ids t || Varray.get t.node_pos owner = Varray.null
+          then (
+            if !err = None then
+              err := Some (Printf.sprintf "attr row %d: dangling owner %d" row owner))
+          else if not (List.mem row (attr_rows_of_node t owner)) && !err = None then
+            err := Some (Printf.sprintf "attr row %d: missing from index" row)
+        end)
+      t.attr_node;
+    Hashtbl.iter
+      (fun node rows ->
+        List.iter
+          (fun row ->
+            if Varray.get t.attr_node row <> node && !err = None then
+              err := Some (Printf.sprintf "attr index: row %d not owned by %d" row node))
+          rows)
+      t.attr_index;
+    match !err with None -> Ok () | Some m -> Error m
+  in
+  Ok ()
+
+type stats = {
+  slots : int;
+  nodes : int;
+  attrs : int;
+  distinct_qnames : int;
+  distinct_props : int;
+  approx_bytes : int;
+}
+
+let stats t =
+  let pool_bytes pool =
+    let b = ref 0 in
+    Strpool.iteri (fun _ s -> b := !b + String.length s + 8) pool;
+    !b
+  in
+  let dict_bytes d =
+    let b = ref 0 in
+    Dict.iteri (fun _ s -> b := !b + String.length s + 16) d;
+    !b
+  in
+  { slots = capacity t;
+    nodes = t.live;
+    attrs = attr_live_count t;
+    distinct_qnames = Dict.cardinal t.qn;
+    distinct_props = Dict.cardinal t.props;
+    approx_bytes =
+      (5 * capacity t * 8) (* size, level, kind, name, node *)
+      + (Varray.length t.node_pos * 8)
+      + (2 * npages t * 8) (* pageOffset both directions *)
+      + (3 * Varray.length t.attr_node * 8)
+      + dict_bytes t.qn + dict_bytes t.props
+      + pool_bytes t.text_pool + pool_bytes t.comment_pool
+      + pool_bytes t.pi_target_pool + pool_bytes t.pi_data_pool }

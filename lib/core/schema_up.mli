@@ -1,0 +1,223 @@
+(** The updateable storage schema (paper Figures 4, 6).
+
+    The node table is [pos/size/level/kind/name/node] in {e physical} page
+    order; [pos] is a void column (it is the array index — never stored).
+    The pre/size/level view the query engine sees reads this table through
+    the {!Column.Pagemap.t} permutation, so [pre] too is virtual: splicing a
+    freshly appended page into logical order renumbers every following node
+    for free.
+
+    Conventions, following Figure 4:
+    - an {e unused} slot has [level = NULL] ({!Column.Varray.null}) and its
+      [size] holds the number of directly following consecutive unused slots
+      {e within the same logical page} (page-local so that page splices can
+      never make a run overshoot into live data);
+    - [size] of a used node is its true descendant count (structural updates
+      never change [level], and change [size] only for ancestors of the
+      update point, via commutative deltas);
+    - every node carries an immutable [node] id; the [node/pos] table maps
+      ids back to positions ([NULL] = freed, recyclable);
+    - attributes reference their owner's {e node id}, never a position, so
+      attribute storage needs no maintenance when positions shift. *)
+
+type t
+
+type col = Csize | Clevel | Ckind | Cname | Cnode
+(** The five materialised columns of the node table. *)
+
+val default_page_bits : int
+(** 12 — 4096 tuples per logical page (the paper uses the 64 KiB VM-mapping
+    granularity; tests shrink it to stress overflow paths). *)
+
+val create : ?page_bits:int -> unit -> t
+(** An empty store (no pages). *)
+
+val of_dom : ?page_bits:int -> ?fill:float -> Xml.Dom.t -> t
+(** Shred a document, filling each logical page to the [fill] fraction
+    (default [0.8], i.e. the paper's "about 20% of the logical pages kept
+    unused") and padding the rest of each page with unused slots. *)
+
+include Storage_intf.S with type t := t
+
+(** {1 Physical layer} *)
+
+val page_bits : t -> int
+
+val page_size : t -> int
+
+val npages : t -> int
+
+val capacity : t -> int
+(** Physical slots = [npages * page_size]; equals [extent]. *)
+
+val pagemap : t -> Column.Pagemap.t
+(** The live pageOffset table. Callers must treat it as read-only;
+    {!set_pagemap} installs a replacement at commit. *)
+
+val set_pagemap : t -> Column.Pagemap.t -> unit
+(** Install a new pageOffset table ("make a new pageOffset table" in the
+    commit protocol, Figure 8). The replacement must cover exactly the same
+    physical pages. *)
+
+val pos_of_pre : t -> int -> int
+(** O(1) swizzle through the pageOffset table. *)
+
+val pre_of_pos : t -> int -> int
+
+val get_cell : t -> col -> int -> int
+(** Read a column cell by {e physical} position. *)
+
+val set_cell : t -> col -> int -> int -> unit
+
+val append_pages : t -> at_logical:int -> count:int -> int list
+(** Physically append [count] fresh all-unused pages and splice them into
+    logical order at logical page index [at_logical]; returns the new
+    physical page ids. *)
+
+val grow_pages : t -> count:int -> int list
+(** Physically append fresh all-unused pages {e without} touching the
+    pageOffset table (they are placed at the logical end) — the primitive a
+    transaction uses to stage private pages that other transactions cannot
+    see until its own pageOffset is installed. *)
+
+val recompute_free_runs : t -> phys_page:int -> unit
+(** Restore the page-local free-run invariant on one page after its slots
+    changed. O(page size). *)
+
+val used_in_page : t -> phys_page:int -> int
+(** Number of used slots in a physical page. *)
+
+val page_stamp : t -> int -> int
+(** Commit LSN that last modified the page (0 = since load). Staging
+    transactions validate their snapshot against this on every page touch
+    ("first-committer-wins" read validation, see {!Txn}). *)
+
+val stamp_page : t -> int -> int -> unit
+(** [stamp_page t phys lsn] — called by the commit apply path, under the
+    global write lock, {e before} the page's data changes. *)
+
+(** {1 Node identity (node/pos table)} *)
+
+val node_ids : t -> int
+(** Extent of the node/pos table (highest id + 1, including freed ids). *)
+
+val node_pos_get : t -> int -> int
+(** Current pos of a node id, or {!Column.Varray.null} when freed. *)
+
+val node_pos_set : t -> int -> int -> unit
+
+val fresh_node_id : t -> int
+(** Recycle a freed id if one exists, else extend the node/pos table —
+    the paper finds NULL [pos] entries to reuse before appending. *)
+
+val free_node_id : t -> int -> unit
+
+val ensure_node_ids : t -> int -> unit
+(** Extend the node/pos table to cover ids below the bound (recovery replays
+    allocations that the crashed process made through the allocator). *)
+
+val node_at : t -> pre:int -> int
+(** Node id stored at a used pre position. *)
+
+val pre_of_node : t -> int -> int option
+(** The paper's swizzle: node → pos (node/pos table) → pre (pageOffset). *)
+
+(** {1 Dictionaries and value pools (shared, append-only)} *)
+
+val intern_qn : t -> Xml.Qname.t -> int
+
+val qn_of_id : t -> int -> Xml.Qname.t
+
+val intern_prop : t -> string -> int
+
+val prop_of_id : t -> int -> string
+
+val push_text : t -> string -> int
+
+val push_comment : t -> string -> int
+
+val push_pi : t -> target:string -> data:string -> int
+
+val text_of_ref : t -> int -> string
+(** Content of a text node by its [name]-column ref. *)
+
+val comment_of_ref : t -> int -> string
+
+val pi_target_of_ref : t -> int -> string
+
+val pi_data_of_ref : t -> int -> string
+
+(** {1 Attribute table (keyed by owner node id)} *)
+
+val attr_add : t -> node:int -> qn:int -> prop:int -> int
+(** Append an attribute row; returns the row id. *)
+
+val attr_tombstone : t -> row:int -> unit
+(** Delete one attribute row (sets its owner to NULL). *)
+
+val attr_rows_of_node : t -> int -> int list
+(** Live attribute rows owned by a node id, in insertion order. *)
+
+val attr_row : t -> int -> int * int * int
+(** [(node, qn, prop)] of a row; node is NULL for tombstones. *)
+
+val attr_live_count : t -> int
+
+val attr_table_len : t -> int
+(** Total rows including tombstones — the staged-view snapshot boundary. *)
+
+(** {1 Bookkeeping} *)
+
+val add_live_nodes : t -> int -> unit
+(** Adjust the live-node counter (used by insert/delete). *)
+
+val compact : ?fill:float -> t -> unit
+(** Rebuild the physical layout: used tuples are re-packed in document order
+    into fresh pages at the [fill] factor (default 0.8), the pageOffset
+    becomes the identity again, and freed/slack slots are re-pooled.
+    Node ids are {e preserved} (clients' handles stay valid); tombstoned
+    attribute rows are dropped. O(N). Callers must hold the store exclusively
+    (the transaction manager's vacuum wraps this in the global write lock). *)
+
+val check_integrity : t -> (unit, string) result
+(** Verify every structural invariant (pagemap permutation, free runs,
+    node/pos agreement, level/size tree-consistency, counters, attribute
+    index). Test-suite workhorse; O(N). *)
+
+(** {1 Persistence (checkpoint / recovery)} *)
+
+val save : t -> Column.Persist.Enc.t -> unit
+(** Serialise the full store into an encoder (checkpoint payload). *)
+
+val load : Column.Persist.Dec.t -> t
+(** Rebuild a store from a checkpoint payload; transient state (attribute
+    index, free-node list) is reconstructed. Raises
+    {!Column.Persist.Dec.Corrupt} on malformed input. *)
+
+val rebuild_transients : t -> unit
+(** Recompute the free-node list and live counter from the base tables —
+    called once after WAL replay. *)
+
+val force_text : t -> int -> string -> unit
+(** Idempotent pool writes at fixed ids, for WAL replay. *)
+
+val force_comment : t -> int -> string -> unit
+
+val force_pi_target : t -> int -> string -> unit
+
+val force_pi_data : t -> int -> string -> unit
+
+val force_qn : t -> int -> string -> unit
+
+val force_prop : t -> int -> string -> unit
+
+type stats = {
+  slots : int;
+  nodes : int;
+  attrs : int;
+  distinct_qnames : int;
+  distinct_props : int;
+  approx_bytes : int;
+}
+
+val stats : t -> stats

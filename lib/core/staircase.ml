@@ -1,0 +1,176 @@
+module Make (S : Storage_intf.S) = struct
+  let sort_uniq l = List.sort_uniq compare l
+
+  (* Hop from a used node towards its next sibling: [pre + size + 1] skips at
+     least the node's own descendants (undershoot lands on a descendant of a
+     sibling-candidate, never past one). *)
+  let sibling_hop t pre = S.next_used t (pre + S.size t pre + 1)
+
+  let subtree_end t ctx =
+    let lvl = S.level t ctx in
+    let stop = S.extent t in
+    let rec go pre =
+      if pre >= stop then stop
+      else if S.level t pre <= lvl then pre
+      else go (sibling_hop t pre)
+    in
+    go (S.next_used t (ctx + 1))
+
+  (* Ancestors by descending from the root: subtree regions are contiguous
+     in the view, so the child of [j] whose region contains [x] is the last
+     child [<= x] — found with sibling hops, skipping whole subtrees. This
+     costs O(depth * fanout-prefix) instead of the O(preceding nodes) of a
+     backward scan, which matters in wide trees. Root-first order. *)
+  let ancestors_of t x =
+    let root = S.next_used t 0 in
+    if x = root || x >= S.extent t then []
+    else begin
+      let stop = S.extent t in
+      let last_child_le j =
+        let lvl = S.level t j in
+        let rec scan pre best =
+          if pre >= stop || pre > x then best
+          else
+            let l = S.level t pre in
+            if l <= lvl then best
+            else if l = lvl + 1 then scan (sibling_hop t pre) (Some pre)
+            else scan (sibling_hop t pre) best (* undershoot: deeper node *)
+        in
+        scan (S.next_used t (j + 1)) None
+      in
+      let rec descend j rev_acc =
+        let rev_acc = j :: rev_acc in
+        match last_child_le j with
+        | Some c when c = x -> List.rev rev_acc
+        | Some c -> descend c rev_acc
+        | None -> List.rev rev_acc (* x not in this store: defensive *)
+      in
+      descend root []
+    end
+
+  let parent_of t ctx =
+    if S.level t ctx = 0 then None
+    else
+      match List.rev (ancestors_of t ctx) with
+      | parent :: _ -> Some parent
+      | [] -> None
+
+  let iter_descendants t ctx f =
+    let lvl = S.level t ctx in
+    let stop = S.extent t in
+    let rec go pre =
+      if pre < stop && S.level t pre > lvl then begin
+        f pre;
+        go (S.next_used t (pre + 1))
+      end
+    in
+    go (S.next_used t (ctx + 1))
+
+  let self _t ctxs = sort_uniq ctxs
+
+  let children_of t ctx =
+    let lvl = S.level t ctx in
+    let stop = S.extent t in
+    let rec go pre acc =
+      if pre >= stop || S.level t pre <= lvl then List.rev acc
+      else if S.level t pre = lvl + 1 then go (sibling_hop t pre) (pre :: acc)
+      else go (sibling_hop t pre) acc (* undershoot: deeper node, hop on *)
+    in
+    go (S.next_used t (ctx + 1)) []
+
+  let children t ctxs = sort_uniq (List.concat_map (children_of t) ctxs)
+
+  let descendants t ?(or_self = false) ctxs =
+    let ctxs = sort_uniq ctxs in
+    let acc = ref [] in
+    (* Staircase pruning: a context inside the previously scanned subtree
+       contributes nothing new. *)
+    let scanned_to = ref (-1) in
+    List.iter
+      (fun ctx ->
+        if ctx >= !scanned_to then begin
+          if or_self then acc := ctx :: !acc;
+          iter_descendants t ctx (fun pre -> acc := pre :: !acc);
+          scanned_to := subtree_end t ctx
+        end)
+      ctxs;
+    List.rev !acc
+
+  let parent t ctxs = sort_uniq (List.filter_map (parent_of t) ctxs)
+
+  let ancestors t ?(or_self = false) ctxs =
+    sort_uniq
+      (List.concat_map
+         (fun c -> if or_self then c :: ancestors_of t c else ancestors_of t c)
+         ctxs)
+
+  let all_used_from t start =
+    let stop = S.extent t in
+    let rec go pre acc =
+      if pre >= stop then List.rev acc else go (S.next_used t (pre + 1)) (pre :: acc)
+    in
+    go (S.next_used t start) []
+
+  let following t ctxs =
+    (* union over contexts = everything after the earliest subtree end *)
+    match sort_uniq ctxs with
+    | [] -> []
+    | ctxs ->
+      let e = List.fold_left (fun acc c -> min acc (subtree_end t c)) max_int ctxs in
+      all_used_from t e
+
+  let preceding t ctxs =
+    (* union over contexts = preceding of the last context (nested contexts
+       only shrink the set; see the region argument in the test suite) *)
+    match List.rev (sort_uniq ctxs) with
+    | [] -> []
+    | cmax :: _ ->
+      let anc = ancestors_of t cmax in
+      let stop = cmax in
+      let rec go pre acc =
+        if pre >= stop then List.rev acc
+        else
+          let acc = if List.mem pre anc then acc else pre :: acc in
+          go (S.next_used t (pre + 1)) acc
+      in
+      go (S.next_used t 0) []
+
+  let following_siblings_of t ctx =
+    let lvl = S.level t ctx in
+    let stop = S.extent t in
+    let rec go pre acc =
+      if pre >= stop || S.level t pre < lvl then List.rev acc
+      else if S.level t pre = lvl then go (sibling_hop t pre) (pre :: acc)
+      else go (sibling_hop t pre) acc
+    in
+    go (sibling_hop t ctx) []
+
+  let following_siblings t ctxs =
+    sort_uniq (List.concat_map (following_siblings_of t) ctxs)
+
+  let preceding_siblings_of t ctx =
+    match parent_of t ctx with
+    | None -> []
+    | Some p -> List.filter (fun c -> c < ctx) (children_of t p)
+
+  let preceding_siblings t ctxs =
+    sort_uniq (List.concat_map (preceding_siblings_of t) ctxs)
+
+  (* Results come back in *axis order* (reverse axes nearest-first), which is
+     the order positional predicates count in. *)
+  let axis_of_one t axis ctx =
+    match (axis : Xpath.Xpath_ast.axis) with
+    | Xpath.Xpath_ast.Self -> [ ctx ]
+    | Xpath.Xpath_ast.Child -> children_of t ctx
+    | Xpath.Xpath_ast.Descendant -> descendants t [ ctx ]
+    | Xpath.Xpath_ast.Descendant_or_self -> descendants t ~or_self:true [ ctx ]
+    | Xpath.Xpath_ast.Parent -> ( match parent_of t ctx with None -> [] | Some p -> [ p ])
+    | Xpath.Xpath_ast.Ancestor -> List.rev (ancestors_of t ctx)
+    | Xpath.Xpath_ast.Ancestor_or_self -> ctx :: List.rev (ancestors_of t ctx)
+    | Xpath.Xpath_ast.Following -> following t [ ctx ]
+    | Xpath.Xpath_ast.Preceding -> List.rev (preceding t [ ctx ])
+    | Xpath.Xpath_ast.Following_sibling -> following_siblings_of t ctx
+    | Xpath.Xpath_ast.Preceding_sibling -> List.rev (preceding_siblings_of t ctx)
+    | Xpath.Xpath_ast.Attribute ->
+      invalid_arg "Staircase.axis_of_one: attribute axis yields no tree nodes"
+end

@@ -1,0 +1,57 @@
+(** Staircase join: XPath axis evaluation over the pre/size/level plane
+    ([GvKT03]), generalised to views that contain unused slots.
+
+    The functor is instantiated once per storage schema; all algorithms work
+    on {e sorted} context lists of pre positions and return sorted duplicate-
+    free results.
+
+    Two properties of the updateable view shape the algorithms:
+    - unused slots are skipped through the page-local free-run lengths in
+      one hop per run ({!Storage_intf.S.next_used});
+    - a used node's [size] is its {e descendant count}, not its extent in the
+      view, so the sibling hop [pre + size + 1] may {e undershoot} (land on a
+      deeper descendant — never beyond the next sibling); loops therefore
+      terminate on [level] comparisons, and an undershoot just costs an extra
+      hop.  On the read-only schema the hop is always exact, recovering the
+      original staircase join. *)
+
+module Make (S : Storage_intf.S) : sig
+  val subtree_end : S.t -> int -> int
+  (** First view position after the node's subtree (its own descendants),
+      [extent] when the subtree reaches the end. *)
+
+  val parent_of : S.t -> int -> int option
+  (** Nearest preceding used node one level up; [None] for the root. *)
+
+  val iter_descendants : S.t -> int -> (int -> unit) -> unit
+  (** Visit every used node of the subtree below the context (excluding it)
+      in document order. *)
+
+  (** {1 Axes over context sets} *)
+
+  val self : S.t -> int list -> int list
+
+  val children : S.t -> int list -> int list
+
+  val descendants : S.t -> ?or_self:bool -> int list -> int list
+  (** Staircase-pruned: a context covered by a previous context's subtree is
+      skipped, so no tuple is scanned twice. *)
+
+  val parent : S.t -> int list -> int list
+
+  val ancestors : S.t -> ?or_self:bool -> int list -> int list
+
+  val following : S.t -> int list -> int list
+
+  val preceding : S.t -> int list -> int list
+
+  val following_siblings : S.t -> int list -> int list
+
+  val preceding_siblings : S.t -> int list -> int list
+
+  (** {1 Per-node axis enumeration (document order)} *)
+
+  val axis_of_one : S.t -> Xpath.Xpath_ast.axis -> int -> int list
+  (** The axis result for a single context node — the building block for
+      positional predicates, which XPath defines per context node. *)
+end

@@ -1,0 +1,366 @@
+open Column
+
+type manager = {
+  base : Schema_up.t;
+  locks : Lock.t;
+  wal_log : Wal.t option;
+  mutable next_txn : int;
+  mutable last_commit : int;
+  id_mu : Mutex.t;
+}
+
+let manager ?wal ?(lock_timeout_s = 1.0) ?(next_txn = 1) base =
+  { base;
+    locks = Lock.create ~timeout_s:lock_timeout_s ();
+    wal_log = wal;
+    next_txn;
+    last_commit = next_txn - 1;
+    id_mu = Mutex.create () }
+
+let last_committed m = m.last_commit
+
+let store m = m.base
+
+let lock_table m = m.locks
+
+let wal m = m.wal_log
+
+exception Aborted of string
+
+exception Conflict of { page : int; stamp : int; snapshot : int }
+
+let read m f = Lock.with_global_read m.locks (fun () -> f (View.direct m.base))
+
+type state = Active | Committed | Rolled_back
+
+type t = {
+  m : manager;
+  txn_id : int;
+  v : View.t;
+  held : (int, bool) Hashtbl.t; (* page -> write?; fast path before the lock table *)
+  mutable state : state;
+}
+
+let id t = t.txn_id
+
+let view t = t.v
+
+let begin_write m =
+  Mutex.lock m.id_mu;
+  let txn_id = m.next_txn in
+  m.next_txn <- txn_id + 1;
+  Mutex.unlock m.id_mu;
+  let held = Hashtbl.create 16 in
+  let snapshot = ref 0 in
+  (* Snapshot validation (first-committer-wins): touching a base page that a
+     later commit has modified — bulk change OR a commutative size delta —
+     would mix that commit's data with this transaction's frozen pageOffset
+     snapshot, so it conflicts instead. Pages never re-touched after a
+     concurrent commit keep the transaction's snapshot consistent. *)
+  let check page =
+    let stamp = Schema_up.page_stamp m.base page in
+    if stamp > !snapshot then raise (Conflict { page; stamp; snapshot = !snapshot })
+  in
+  let touch page write =
+    (match Hashtbl.find_opt held page with
+    | Some true -> ()
+    | Some false when not write -> ()
+    | _ ->
+      Lock.acquire_page m.locks ~owner:txn_id ~page ~write;
+      Hashtbl.replace held page write);
+    check page
+  in
+  (* The pageOffset snapshot must be consistent with the snapshot LSN: take
+     both under the shared global lock, excluding mid-flight commits. *)
+  let v =
+    Lock.with_global_read m.locks (fun () ->
+        snapshot := m.last_commit;
+        View.staged ~touch m.base)
+  in
+  { m; txn_id; v; held; state = Active }
+
+let check_active t what =
+  match t.state with
+  | Active -> ()
+  | Committed -> invalid_arg (what ^ ": transaction already committed")
+  | Rolled_back -> invalid_arg (what ^ ": transaction already aborted")
+
+let release t =
+  Lock.release_all t.m.locks ~owner:t.txn_id;
+  Hashtbl.reset t.held
+
+let abort t =
+  check_active t "Txn.abort";
+  t.state <- Rolled_back;
+  (match View.staged_state t.v with
+  | None -> ()
+  | Some st ->
+    (* The base was never written; just return allocated node ids. *)
+    List.iter (Schema_up.free_node_id t.m.base) st.View.fresh_nodes);
+  release t
+
+let col_of_int = function
+  | 0 -> Schema_up.Csize
+  | 1 -> Schema_up.Clevel
+  | 2 -> Schema_up.Ckind
+  | 3 -> Schema_up.Cname
+  | 4 -> Schema_up.Cnode
+  | n -> invalid_arg (Printf.sprintf "Txn: bad column index %d" n)
+
+(* Redo one commit record onto the base store — used both by live commits
+   (under the global write lock) and by recovery. [lsn] orders page stamps by
+   commit (txn ids are begin-ordered, which is not the same thing). *)
+let apply_wal_record ?lsn b (r : Wal.record) =
+  let lsn = Option.value ~default:r.Wal.txn lsn in
+  List.iter
+    (fun ((p : View.pool), id, s) ->
+      match p with
+      | View.Ptext -> Schema_up.force_text b id s
+      | View.Pcomment -> Schema_up.force_comment b id s
+      | View.Ppi_target -> Schema_up.force_pi_target b id s
+      | View.Ppi_data -> Schema_up.force_pi_data b id s
+      | View.Dqn -> Schema_up.force_qn b id s
+      | View.Dprop -> Schema_up.force_prop b id s)
+    (List.rev r.Wal.pool);
+  let p = Schema_up.page_size b in
+  (* Stamps precede data so a racing snapshot-validating reader can never see
+     new data under an old stamp. *)
+  let bump_page phys = Schema_up.stamp_page b phys lsn in
+  let bump_pos pos = bump_page (pos / p) in
+  let fresh = Schema_up.grow_pages b ~count:(List.length r.Wal.pages) in
+  List.iter bump_page fresh;
+  List.iter (fun (pos, _, _) -> bump_pos pos) r.Wal.cells;
+  List.iter2
+    (fun phys arrays ->
+      let base_pos = phys * p in
+      Array.iteri
+        (fun ci col ->
+          let c = col_of_int ci in
+          Array.iteri (fun off v -> Schema_up.set_cell b c (base_pos + off) v) col)
+        arrays)
+    fresh r.Wal.pages;
+  List.iter
+    (fun (pos, ci, v) -> Schema_up.set_cell b (col_of_int ci) pos v)
+    r.Wal.cells;
+  Schema_up.set_pagemap b
+    (Pagemap.of_array ~bits:(Schema_up.page_bits b) r.Wal.page_order);
+  List.iter
+    (fun (node, pos) ->
+      Schema_up.ensure_node_ids b (node + 1);
+      Schema_up.node_pos_set b node pos)
+    r.Wal.node_pos;
+  List.iter
+    (fun node ->
+      Schema_up.ensure_node_ids b (node + 1);
+      Schema_up.node_pos_set b node Varray.null)
+    r.Wal.freed_nodes;
+  List.iter
+    (fun (node, d) ->
+      if node < Schema_up.node_ids b then begin
+        let pos = Schema_up.node_pos_get b node in
+        if pos <> Varray.null then begin
+          bump_pos pos;
+          Schema_up.set_cell b Schema_up.Csize pos
+            (Schema_up.get_cell b Schema_up.Csize pos + d)
+        end
+      end)
+    r.Wal.size_deltas;
+  let bump_owner node =
+    if node >= 0 && node < Schema_up.node_ids b then begin
+      let pos = Schema_up.node_pos_get b node in
+      if pos <> Varray.null then bump_pos pos
+    end
+  in
+  List.iter
+    (fun row ->
+      let owner, _, _ = Schema_up.attr_row b row in
+      bump_owner owner;
+      Schema_up.attr_tombstone b ~row)
+    r.Wal.attr_dels;
+  List.iter
+    (fun (node, qn, prop) ->
+      bump_owner node;
+      ignore (Schema_up.attr_add b ~node ~qn ~prop))
+    r.Wal.attr_adds;
+  Schema_up.add_live_nodes b r.Wal.live_delta
+
+(* Turn the staged view into a commit record, renumbering provisional page
+   ids by however many pages other transactions appended since we began. *)
+let build_record t (st : View.staged) =
+  let b = t.m.base in
+  let p = Schema_up.page_size b in
+  let cur_np = Schema_up.npages b in
+  let shift = cur_np - st.View.base_npages in
+  assert (shift >= 0);
+  let renum_page pg = if pg >= st.View.base_npages then pg + shift else pg in
+  let renum_pos pos = if pos >= st.View.base_npages * p then pos + (shift * p) else pos in
+  (* Ancestor sizes are updated WITHOUT page locks (the commutative-delta
+     trick), so a size value this transaction copied while moving a tuple
+     within its locked pages may be stale: a concurrent commit's delta can
+     have landed on the base since. A committed size cell of a pre-existing
+     live node must therefore be the node's CURRENT base size — our own
+     change to it travels separately in [size_deltas]. Free-run lengths
+     (unused slots) and brand-new nodes keep their staged values. *)
+  let read_staged col pos =
+    match Hashtbl.find_opt st.View.cells ((pos * 8) lor View.col_index col) with
+    | Some v -> v
+    | None ->
+      if pos < st.View.base_npages * p then Schema_up.get_cell b col pos
+      else
+        let page = (pos / p) - st.View.base_npages in
+        st.View.sp.(page).(View.col_index col).(pos mod p)
+  in
+  let current_size_of_node ~staged_level ~staged_node ~staged_size =
+    if staged_level = Column.Varray.null then staged_size (* free-run length *)
+    else if staged_node < 0 || staged_node >= Schema_up.node_ids b then staged_size
+    else
+      let base_pos = Schema_up.node_pos_get b staged_node in
+      if base_pos = Column.Varray.null then staged_size (* new node *)
+      else Schema_up.get_cell b Schema_up.Csize base_pos
+  in
+  (* Final logical page order: replay our splices onto the current order. *)
+  let order = ref (Array.to_list (Pagemap.to_array (Schema_up.pagemap b))) in
+  List.iter
+    (fun { View.anchor; pages } ->
+      let pages = List.map renum_page pages in
+      let rec insert_after l =
+        match anchor, l with
+        | View.Start, l -> pages @ l
+        | View.After_phys a, x :: rest ->
+          if x = renum_page a then (x :: pages) @ rest else x :: insert_after rest
+        | View.After_phys a, [] ->
+          invalid_arg (Printf.sprintf "Txn: splice anchor page %d vanished" a)
+      in
+      order := insert_after !order)
+    (List.rev st.View.splices);
+  let cells =
+    Hashtbl.fold
+      (fun key v acc ->
+        let pos = key lsr 3 and col = key land 7 in
+        let v =
+          if col = View.col_index Schema_up.Csize then
+            current_size_of_node
+              ~staged_level:(read_staged Schema_up.Clevel pos)
+              ~staged_node:(read_staged Schema_up.Cnode pos)
+              ~staged_size:v
+          else v
+        in
+        (pos, col, v) :: acc)
+      st.View.cells []
+  in
+  let pages =
+    List.init st.View.sp_len (fun i ->
+        let page = st.View.sp.(i) in
+        let size_col = Array.copy page.(View.col_index Schema_up.Csize) in
+        Array.iteri
+          (fun off v ->
+            size_col.(off) <-
+              current_size_of_node
+                ~staged_level:page.(View.col_index Schema_up.Clevel).(off)
+                ~staged_node:page.(View.col_index Schema_up.Cnode).(off)
+                ~staged_size:v)
+          size_col;
+        Array.mapi
+          (fun ci col -> if ci = View.col_index Schema_up.Csize then size_col else col)
+          page)
+  in
+  let node_pos =
+    Hashtbl.fold
+      (fun node pos acc ->
+        if pos = Varray.null then (node, Varray.null) :: acc
+        else (node, renum_pos pos) :: acc)
+      st.View.node_pos_w []
+  in
+  let size_deltas =
+    Hashtbl.fold (fun node d acc -> if d <> 0 then (node, d) :: acc else acc)
+      st.View.size_deltas []
+  in
+  let attr_adds = ref [] in
+  for i = st.View.attr_adds_len - 1 downto 0 do
+    let (node, qn, prop) = st.View.attr_adds.(i) in
+    if node <> Varray.null then attr_adds := (node, qn, prop) :: !attr_adds
+  done;
+  { Wal.txn = t.txn_id;
+    cells;
+    pages;
+    page_order = Array.of_list !order;
+    node_pos;
+    freed_nodes = st.View.freed_nodes;
+    size_deltas;
+    attr_adds = !attr_adds;
+    attr_dels = st.View.attr_dels;
+    pool = List.rev st.View.pool_log;
+    live_delta = st.View.live_delta }
+
+let commit ?validate t =
+  check_active t "Txn.commit";
+  match View.staged_state t.v with
+  | None -> invalid_arg "Txn.commit: not a staged view"
+  | Some st -> (
+    (* Consistency: validate before attempting to commit (Figure 8). *)
+    (match validate with
+    | None -> ()
+    | Some check -> (
+      match check t.v with
+      | Ok () -> ()
+      | Error msg ->
+        abort t;
+        raise (Aborted ("validation failed: " ^ msg))));
+    match
+      Lock.with_global_write t.m.locks (fun () ->
+          let record = build_record t st in
+          (* The WAL write is the commit point: a single flushed frame. *)
+          (match t.m.wal_log with
+          | None -> ()
+          | Some w -> Wal.append w record);
+          let lsn = t.m.last_commit + 1 in
+          apply_wal_record ~lsn t.m.base record;
+          t.m.last_commit <- lsn)
+    with
+    | () ->
+      t.state <- Committed;
+      release t
+    | exception e ->
+      (* Apply-phase failures must not leave the txn half-open. *)
+      t.state <- Rolled_back;
+      release t;
+      raise e)
+
+let with_write m ?validate f =
+  let t = begin_write m in
+  match f t.v with
+  | result ->
+    commit ?validate t;
+    result
+  | exception Lock.Would_deadlock { page; _ } ->
+    abort t;
+    raise (Aborted (Printf.sprintf "deadlock timeout on page %d" page))
+  | exception Conflict { page; _ } ->
+    abort t;
+    raise (Aborted (Printf.sprintf "snapshot conflict on page %d" page))
+  | exception e ->
+    if t.state = Active then abort t;
+    raise e
+
+let vacuum ?fill m =
+  Lock.with_global_write m.locks (fun () ->
+      Schema_up.compact ?fill m.base;
+      let lsn = m.last_commit + 1 in
+      for page = 0 to Schema_up.npages m.base - 1 do
+        Schema_up.stamp_page m.base page lsn
+      done;
+      m.last_commit <- lsn;
+      if m.next_txn <= lsn then m.next_txn <- lsn + 1)
+
+let recover ?(after = 0) ~wal_path b =
+  let applied = ref 0 and last = ref after in
+  let (_ : int) =
+    Wal.replay wal_path (fun r ->
+        if r.Wal.txn > after then begin
+          apply_wal_record b r;
+          incr applied
+        end;
+        if r.Wal.txn > !last then last := r.Wal.txn)
+  in
+  Schema_up.rebuild_transients b;
+  (!applied, !last)

@@ -1,0 +1,97 @@
+(** The transaction protocol of Figure 8: multi-version strict two-phase
+    locking with write-ahead logging.
+
+    - Read-only work runs under the shared global lock against the base
+      store and never blocks on writers staging changes.
+    - A write transaction stages everything in a {!View.t} (copy-on-write
+      differential lists, privately staged pages, a private pageOffset), and
+      takes page locks incrementally — read locks while navigating, write
+      locks on pages it rewrites.  Ancestor size changes travel as
+      commutative deltas and take {e no} locks, so the root is never a
+      bottleneck.
+    - Commit: optional validation, then the global write lock, one WAL
+      frame, carry the differential lists through to the base, install the
+      new pageOffset table, release.
+    - Abort (or a {!Lock.Would_deadlock} timeout): drop the staged view,
+      return fresh node ids to the allocator; the base was never touched.
+
+    {!recover} rebuilds a store from a checkpoint plus the intact WAL
+    prefix. *)
+
+type manager
+
+val manager :
+  ?wal:Wal.t -> ?lock_timeout_s:float -> ?next_txn:int -> Schema_up.t -> manager
+(** [next_txn] seeds the transaction-id (LSN) counter — recovery passes the
+    last replayed id + 1 so ids stay monotone across restarts. *)
+
+val last_committed : manager -> int
+(** Highest committed transaction id (0 if none) — the checkpoint LSN. *)
+
+val store : manager -> Schema_up.t
+
+val lock_table : manager -> Lock.t
+
+val wal : manager -> Wal.t option
+
+exception Aborted of string
+(** The transaction was rolled back (deadlock timeout, validation failure,
+    or an exception in the body of {!with_write}). *)
+
+exception Conflict of { page : int; stamp : int; snapshot : int }
+(** Snapshot validation failed: the transaction touched a base page modified
+    by a commit newer than its snapshot ("first-committer-wins"). Size deltas
+    count as modifications here — the losing transaction retries instead of
+    ever waiting on an ancestor lock. {!with_write} converts this to
+    {!Aborted}; explicit transactions should abort and retry. *)
+
+(** {1 Read-only transactions} *)
+
+val read : manager -> (View.t -> 'a) -> 'a
+(** Run under the shared global lock against a direct view. *)
+
+(** {1 Write transactions} *)
+
+type t
+
+val begin_write : manager -> t
+
+val id : t -> int
+
+val view : t -> View.t
+(** The staged view — pass it to {!Update} and to in-transaction queries
+    (an [Engine.Make (View)] instance); it sees the transaction's own
+    changes. *)
+
+val commit : ?validate:(View.t -> (unit, string) result) -> t -> unit
+(** Figure 8's commit sequence. [validate] runs before the global lock is
+    taken; a failure aborts (raises {!Aborted}). Committing or aborting
+    twice raises [Invalid_argument]. *)
+
+val abort : t -> unit
+
+val with_write :
+  manager -> ?validate:(View.t -> (unit, string) result) -> (View.t -> 'a) -> 'a
+(** Run a body and commit; aborts (and re-raises as {!Aborted}) on deadlock
+    timeout or any exception from the body. *)
+
+val vacuum : ?fill:float -> manager -> unit
+(** Compact the store (see {!Schema_up.compact}) under the global write
+    lock; every physical page is stamped with a fresh LSN so in-flight
+    transactions conflict-and-retry rather than observe moved tuples.
+    The WAL (if any) is invalidated by compaction — take a checkpoint
+    right after (as {!Db.vacuum} does). *)
+
+(** {1 Recovery} *)
+
+val apply_wal_record : ?lsn:int -> Schema_up.t -> Wal.record -> unit
+(** Redo one committed transaction onto the base store (idempotent with
+    respect to pool writes; cell and table writes are absolute). [lsn] is the
+    commit sequence number used to stamp modified pages (default: the
+    record's transaction id — fine for recovery, where no transactions are
+    in flight). *)
+
+val recover : ?after:int -> wal_path:string -> Schema_up.t -> int * int
+(** Replay the intact WAL prefix onto a freshly loaded checkpoint, skipping
+    records with id [<= after] (the checkpoint LSN; default 0). Returns
+    [(records redone, highest id seen)]. Rebuilds transient state. *)

@@ -1,0 +1,267 @@
+open Column
+
+module Sj = Staircase.Make (View)
+
+type insert_point =
+  | First_child of int
+  | Last_child of int
+  | Nth_child of int * int
+  | Before of int
+  | After of int
+
+exception Update_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Update_error m)) fmt
+
+type cost = {
+  mutable moved_tuples : int;
+  mutable new_pages : int;
+  mutable blanked_tuples : int;
+}
+
+let costs = { moved_tuples = 0; new_pages = 0; blanked_tuples = 0 }
+
+let reset_costs () =
+  costs.moved_tuples <- 0;
+  costs.new_pages <- 0;
+  costs.blanked_tuples <- 0
+
+(* A materialised tuple, page-rewrite currency. [node = null] marks a tuple
+   that still needs a fresh node id (a new node). *)
+type tuple = { tsize : int; tlevel : int; tkind : int; tname : int; tnode : int }
+
+let read_tuple v pos =
+  { tsize = View.read_cell v Csize pos;
+    tlevel = View.read_cell v Clevel pos;
+    tkind = View.read_cell v Ckind pos;
+    tname = View.read_cell v Cname pos;
+    tnode = View.read_cell v Cnode pos }
+
+let write_tuple v pos t =
+  View.write_cell v Csize pos t.tsize;
+  View.write_cell v Clevel pos t.tlevel;
+  View.write_cell v Ckind pos t.tkind;
+  View.write_cell v Cname pos t.tname;
+  View.write_cell v Cnode pos t.tnode;
+  View.node_pos_set v t.tnode pos
+
+let blank_slot v pos =
+  View.write_cell v Clevel pos Varray.null;
+  View.write_cell v Cnode pos Varray.null
+
+(* Prepare the new tuples of a forest: allocate node ids, intern names, push
+   pool values, register attributes. Returns tuples in document order. *)
+let prepare_forest v ~parent_level nodes =
+  let items = Shred.sequence_forest nodes in
+  Array.map
+    (fun { Shred.size; level; payload } ->
+      let node = View.fresh_node_id v in
+      let kind = Shred.kind_of_payload payload in
+      let name =
+        match payload with
+        | Shred.El (q, attrs) ->
+          let qid = View.intern_qn v q in
+          List.iter
+            (fun (aq, av) ->
+              View.attr_add v ~node ~qn:(View.intern_qn v aq)
+                ~prop:(View.intern_prop v av))
+            attrs;
+          qid
+        | Shred.Tx s -> View.push_text v s
+        | Shred.Cm s -> View.push_comment v s
+        | Shred.Pr (target, data) -> View.push_pi v ~target ~data
+      in
+      { tsize = size;
+        tlevel = parent_level + 1 + level;
+        tkind = Kind.to_int kind;
+        tname = name;
+        tnode = node })
+    items
+
+(* Rewrite one physical page: place [layout] (at most a full page) from
+   offset 0, blank the rest, restore free runs, fix node/pos. *)
+let rewrite_page v ~phys layout =
+  let p = View.page_size v in
+  let base = phys * p in
+  if List.length layout > p then invalid_arg "Update.rewrite_page: overfull";
+  List.iteri
+    (fun off (tup, is_new) ->
+      let pos = base + off in
+      if (not is_new) && View.node_pos_get v tup.tnode <> pos then
+        costs.moved_tuples <- costs.moved_tuples + 1;
+      write_tuple v pos tup)
+    layout;
+  let used = List.length layout in
+  for off = used to p - 1 do
+    let pos = base + off in
+    if View.read_cell v Clevel pos <> Varray.null then blank_slot v pos
+  done;
+  View.recompute_free_runs v ~phys_page:phys
+
+(* Collect the used tuples of one physical page in offset order, split around
+   the view offset of [prev] (inclusive on the left). *)
+let page_split v ~phys ~prev_off =
+  let p = View.page_size v in
+  let base = phys * p in
+  let before = ref [] and after = ref [] in
+  for off = p - 1 downto 0 do
+    let pos = base + off in
+    if View.read_cell v Clevel pos <> Varray.null then
+      if off <= prev_off then before := (read_tuple v pos, false) :: !before
+      else after := (read_tuple v pos, false) :: !after
+  done;
+  (!before, !after)
+
+let rec take_drop n = function
+  | rest when n = 0 -> ([], rest)
+  | [] -> ([], [])
+  | x :: rest ->
+    let a, b = take_drop (n - 1) rest in
+    (x :: a, b)
+
+(* The Figure 7 insert: place [news] (document-order tuples) directly after
+   the used view position [prev]. *)
+let insert_after_prev v ~prev news =
+  let p = View.page_size v in
+  let bits = View.page_bits v in
+  let prev_pos = View.pos_of_pre v prev in
+  let phys = prev_pos lsr bits in
+  let prev_off = prev_pos land (p - 1) in
+  let before, after = page_split v ~phys ~prev_off in
+  let m = Array.length news in
+  let news = Array.to_list (Array.map (fun t -> (t, true)) news) in
+  let free = p - List.length before - List.length after in
+  if m <= free then
+    (* Figure 7a: within-page insert; only this page's tuples move. *)
+    rewrite_page v ~phys (before @ news @ after)
+  else begin
+    (* Figure 7b: fill the page, move the overflow (remaining new tuples and
+       the page tail) onto freshly appended pages spliced in logically. *)
+    let seq = news @ after in
+    let head, rest = take_drop (p - List.length before) seq in
+    let k = (List.length rest + p - 1) / p in
+    let logical = prev lsr bits in
+    let fresh = View.splice_pages v ~at_logical:(logical + 1) ~count:k in
+    costs.new_pages <- costs.new_pages + k;
+    rewrite_page v ~phys (before @ head);
+    let rec fill pages rest =
+      match pages, rest with
+      | _, [] -> ()
+      | [], _ :: _ -> assert false
+      | pg :: pages', rest ->
+        let chunk, rest' = take_drop p rest in
+        rewrite_page v ~phys:pg chunk;
+        fill pages' rest'
+    in
+    fill fresh rest
+  end
+
+(* Ancestor chain as node ids, computed before any slot moves (one top-down
+   descend; see Staircase.ancestors). *)
+let ancestor_nodes v pre =
+  List.map
+    (fun a -> View.read_cell v Cnode (View.pos_of_pre v a))
+    (Sj.ancestors v [ pre ])
+
+let node_id_at v pre = View.read_cell v Cnode (View.pos_of_pre v pre)
+
+let require_element v pre what =
+  if View.kind v pre <> Kind.Element then
+    fail "%s: target at pre %d is not an element" what pre
+
+(* Resolve an insert point to (parent_pre, prev): the new forest goes
+   directly after the used view position [prev], as children of parent. *)
+let resolve_point v = function
+  | First_child p ->
+    require_element v p "insert first-child";
+    (p, p)
+  | Last_child p ->
+    require_element v p "insert last-child";
+    (p, View.prev_used v (Sj.subtree_end v p - 1))
+  | Nth_child (p, k) ->
+    require_element v p "insert nth-child";
+    let kids = Sj.children v [ p ] in
+    let nkids = List.length kids in
+    if k < 1 || k > nkids + 1 then
+      fail "insert nth-child: position %d out of range (node has %d children)" k nkids
+    else if k = 1 then (p, p)
+    else
+      let kid = List.nth kids (k - 2) in
+      (p, View.prev_used v (Sj.subtree_end v kid - 1))
+  | Before s -> (
+    match Sj.parent_of v s with
+    | None -> fail "insert-before: target is the root"
+    | Some parent -> (parent, View.prev_used v (s - 1)))
+  | After s -> (
+    match Sj.parent_of v s with
+    | None -> fail "insert-after: target is the root"
+    | Some parent -> (parent, View.prev_used v (Sj.subtree_end v s - 1)))
+
+let insert ?size_chain v point nodes =
+  if nodes = [] then ()
+  else begin
+    let parent, prev = resolve_point v point in
+    assert (prev >= 0);
+    let ancestors =
+      match size_chain with
+      | Some chain -> chain
+      | None -> ancestor_nodes v parent @ [ node_id_at v parent ]
+    in
+    let news = prepare_forest v ~parent_level:(View.level v parent) nodes in
+    insert_after_prev v ~prev news;
+    let m = Array.length news in
+    List.iter (fun node -> View.add_size_delta v ~node m) ancestors;
+    View.add_live v m
+  end
+
+let delete v ~pre =
+  if not (View.is_used v pre) then fail "delete: pre %d is unused" pre;
+  if View.level v pre = 0 then fail "delete: cannot remove the document root";
+  let ancestors = ancestor_nodes v pre in
+  let subtree = ref [ pre ] in
+  Sj.iter_descendants v pre (fun d -> subtree := d :: !subtree);
+  let positions = List.map (View.pos_of_pre v) !subtree in
+  let touched = Hashtbl.create 8 in
+  let bits = View.page_bits v in
+  List.iter
+    (fun pos ->
+      let node = View.read_cell v Cnode pos in
+      View.attr_remove_node v ~node;
+      View.free_node_id v node;
+      blank_slot v pos;
+      costs.blanked_tuples <- costs.blanked_tuples + 1;
+      Hashtbl.replace touched (pos lsr bits) ())
+    positions;
+  Hashtbl.iter (fun phys () -> View.recompute_free_runs v ~phys_page:phys) touched;
+  let m = List.length positions in
+  List.iter (fun node -> View.add_size_delta v ~node (-m)) ancestors;
+  View.add_live v (-m)
+
+(* ------------------------------------------------------------ value updates *)
+
+let set_text v ~pre s =
+  let pos = View.pos_of_pre v pre in
+  match View.kind v pre with
+  | Kind.Text -> View.write_cell v Cname pos (View.push_text v s)
+  | Kind.Comment -> View.write_cell v Cname pos (View.push_comment v s)
+  | Kind.Pi ->
+    let target = View.pi_target v pre in
+    View.write_cell v Cname pos (View.push_pi v ~target ~data:s)
+  | Kind.Element -> fail "set_text: pre %d is an element" pre
+
+let rename_element v ~pre q =
+  require_element v pre "rename_element";
+  View.write_cell v Cname (View.pos_of_pre v pre) (View.intern_qn v q)
+
+let set_attribute v ~pre q value =
+  require_element v pre "set_attribute";
+  let node = node_id_at v pre in
+  let qn = View.intern_qn v q in
+  let _ = View.attr_remove_named v ~node ~qn in
+  View.attr_add v ~node ~qn ~prop:(View.intern_prop v value)
+
+let remove_attribute v ~pre q =
+  require_element v pre "remove_attribute";
+  match View.qn_id v q with
+  | None -> false
+  | Some qn -> View.attr_remove_named v ~node:(node_id_at v pre) ~qn

@@ -1,0 +1,79 @@
+(** Structural and value updates on the updateable schema (paper Figure 7).
+
+    All operations work on a {!View.t}, so the same code serves the
+    auto-commit path (direct view) and the transaction protocol (staged
+    view).
+
+    Insert placement follows the paper:
+    - if the inserted subtree fits the free slots of the logical page
+      containing the insert point, tuples after the insert point move
+      {e within} the page (their node/pos entries are fixed up) — no other
+      page is touched (Figure 7a);
+    - otherwise the page's tail and the remaining new tuples go to freshly
+      {e appended} pages, spliced into logical order through the pageOffset
+      table; every following pre number shifts automatically because pre is
+      a virtual column — zero physical cost (Figure 7b).
+
+    Deletes never shift anything: the subtree's slots become unused (level
+    NULL), extending the page-local free runs; the node ids are freed and the
+    attribute rows tombstoned.
+
+    Ancestor [size] maintenance always goes through
+    {!View.add_size_delta} — the commutative operation that lets concurrent
+    transactions share ancestors (including the root) without locking them. *)
+
+type insert_point =
+  | First_child of int  (** parent pre *)
+  | Last_child of int  (** parent pre *)
+  | Nth_child of int * int  (** parent pre, 1-based position among children *)
+  | Before of int  (** sibling pre *)
+  | After of int  (** sibling pre *)
+
+exception Update_error of string
+
+val insert :
+  ?size_chain:int list -> View.t -> insert_point -> Xml.Dom.node list -> unit
+(** Insert a forest at the given point. Raises {!Update_error} when the
+    point is invalid (e.g. [Before] the root, children under a non-element,
+    [Nth_child] out of range).
+
+    [size_chain] optionally names the nodes whose [size] grows — the parent
+    and all its ancestors, as immutable node ids. Callers that navigated to
+    the target already know this chain (the XUpdate evaluator, clients
+    holding node handles); supplying it skips the ancestor search, whose
+    sibling hops otherwise read pages of preceding subtrees — which matters
+    to concurrent writers (see the concurrency bench). When omitted, the
+    chain is computed with a top-down staircase descend. *)
+
+val delete : View.t -> pre:int -> unit
+(** Delete the subtree rooted at [pre]. Deleting the root raises
+    {!Update_error}. *)
+
+(** {1 Value updates (paper §2.1: these map trivially onto the tables)} *)
+
+val set_text : View.t -> pre:int -> string -> unit
+(** Replace the content of a text, comment or PI node. *)
+
+val rename_element : View.t -> pre:int -> Xml.Qname.t -> unit
+(** Rename an element: one cell write in the [name] column ([size], [level]
+    and the node id are untouched — renames are the cheapest update). *)
+
+val set_attribute : View.t -> pre:int -> Xml.Qname.t -> string -> unit
+(** Add or replace an attribute of an element. *)
+
+val remove_attribute : View.t -> pre:int -> Xml.Qname.t -> bool
+(** Remove an attribute; [false] when it was absent. *)
+
+(** {1 Statistics} *)
+
+type cost = {
+  mutable moved_tuples : int;  (** existing tuples rewritten in their page *)
+  mutable new_pages : int;  (** pages appended+spliced by overflow inserts *)
+  mutable blanked_tuples : int;  (** tuples turned unused by deletes *)
+}
+
+val costs : cost
+(** Global counters, reset with {!reset_costs} — the bench harness uses them
+    to demonstrate the O(update volume) bound. *)
+
+val reset_costs : unit -> unit

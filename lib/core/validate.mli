@@ -1,0 +1,39 @@
+(** Schema validation — the consistency hook of the commit protocol.
+
+    Figure 8: "run XML document validation (if there is a schema)" happens as
+    the last stage before a transaction tries to commit; a failure aborts.
+    This is a compact structural-schema validator in the spirit of [GK04]
+    (full XML Schema is out of scope): per element name it constrains the
+    permitted child elements, text content and attributes. *)
+
+type content =
+  | Any  (** anything *)
+  | Children_of of string list  (** only these element names (no text) *)
+  | Text_only  (** text/comment/PI children only *)
+  | Empty
+
+type rule = {
+  content : content;
+  required_attrs : string list;
+  allowed_attrs : string list option;  (** [None] = anything beyond required *)
+}
+
+type t
+(** A schema: rules by element name; unnamed elements are unconstrained. *)
+
+val empty : t
+
+val add : t -> string -> rule -> t
+
+val of_rules : (string * rule) list -> t
+
+val rule : ?content:content -> ?required:string list -> ?allowed:string list -> unit -> rule
+(** [allowed] is in addition to [required]; omitting it allows any extra
+    attribute. *)
+
+val check_view : t -> View.t -> (unit, string) result
+(** Validate the whole document as seen through a view — usable directly as
+    the [?validate] argument of {!Txn.commit}. *)
+
+val checker : t -> View.t -> (unit, string) result
+(** [checker s] is [fun v -> check_view s v]. *)

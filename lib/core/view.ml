@@ -1,0 +1,433 @@
+open Column
+
+type pool = Ptext | Pcomment | Ppi_target | Ppi_data | Dqn | Dprop
+
+type anchor = Start | After_phys of int
+
+type splice = { anchor : anchor; pages : int list }
+
+type staged = {
+  base_npages : int;
+  cells : (int, int) Hashtbl.t;
+  mutable sp : int array array array;
+  mutable sp_len : int;
+  mutable pmap : Pagemap.t;
+  mutable splices : splice list;
+  node_pos_w : (int, int) Hashtbl.t;
+  size_deltas : (int, int) Hashtbl.t;
+  mutable attr_adds : (int * int * int) array;
+  mutable attr_adds_len : int;
+  mutable attr_dels : int list;
+  mutable pool_log : (pool * int * string) list;
+  mutable fresh_nodes : int list;
+  mutable freed_nodes : int list;
+  mutable live_delta : int;
+  touch : int -> bool -> unit;
+}
+
+type t = {
+  b : Schema_up.t;
+  st : staged option;
+  base_attr_len : int; (* attr-table snapshot boundary for staged reads *)
+}
+
+let direct b = { b; st = None; base_attr_len = 0 }
+
+let staged ?(touch = fun _ _ -> ()) b =
+  let st =
+    { base_npages = Schema_up.npages b;
+      cells = Hashtbl.create 64;
+      sp = [||];
+      sp_len = 0;
+      pmap = Pagemap.copy (Schema_up.pagemap b);
+      splices = [];
+      node_pos_w = Hashtbl.create 16;
+      size_deltas = Hashtbl.create 8;
+      attr_adds = [||];
+      attr_adds_len = 0;
+      attr_dels = [];
+      pool_log = [];
+      fresh_nodes = [];
+      freed_nodes = [];
+      live_delta = 0;
+      touch }
+  in
+  (* The attr table length is snapshotted so pseudo row ids for staged adds
+     never clash with rows appended by transactions that commit later. *)
+  { b; st = Some st; base_attr_len = Schema_up.attr_table_len b }
+
+let base v = v.b
+
+let staged_state v = v.st
+
+(* ------------------------------------------------------------- geometry -- *)
+
+let page_bits v = Schema_up.page_bits v.b
+
+let page_size v = Schema_up.page_size v.b
+
+let npages v =
+  match v.st with None -> Schema_up.npages v.b | Some st -> st.base_npages + st.sp_len
+
+let capacity v = npages v lsl page_bits v
+
+let col_int : Schema_up.col -> int = function
+  | Csize -> 0
+  | Clevel -> 1
+  | Ckind -> 2
+  | Cname -> 3
+  | Cnode -> 4
+
+let col_index = col_int
+
+(* ----------------------------------------------------------- cell access -- *)
+
+let read_cell v col pos =
+  match v.st with
+  | None -> Schema_up.get_cell v.b col pos
+  | Some st ->
+    let p = page_size v in
+    let base_cap = st.base_npages * p in
+    if pos >= base_cap then begin
+      let page = (pos / p) - st.base_npages in
+      if page >= st.sp_len then
+        invalid_arg (Printf.sprintf "View.read_cell: pos %d beyond staged pages" pos);
+      st.sp.(page).(col_int col).(pos mod p)
+    end
+    else begin
+      st.touch (pos / p) false;
+      match Hashtbl.find_opt st.cells ((pos * 8) lor col_int col) with
+      | Some x -> x
+      | None -> Schema_up.get_cell v.b col pos
+    end
+
+let write_cell v col pos x =
+  match v.st with
+  | None -> Schema_up.set_cell v.b col pos x
+  | Some st ->
+    let p = page_size v in
+    let base_cap = st.base_npages * p in
+    if pos >= base_cap then begin
+      let page = (pos / p) - st.base_npages in
+      if page >= st.sp_len then
+        invalid_arg (Printf.sprintf "View.write_cell: pos %d beyond staged pages" pos);
+      st.sp.(page).(col_int col).(pos mod p) <- x
+    end
+    else begin
+      st.touch (pos / p) true;
+      Hashtbl.replace st.cells ((pos * 8) lor col_int col) x
+    end
+
+let pos_of_pre v pre =
+  match v.st with
+  | None -> Schema_up.pos_of_pre v.b pre
+  | Some st -> Pagemap.pre_to_pos st.pmap pre
+
+let pre_of_pos v pos =
+  match v.st with
+  | None -> Schema_up.pre_of_pos v.b pos
+  | Some st -> Pagemap.pos_to_pre st.pmap pos
+
+(* A freshly staged page: all slots unused, free runs covering the page. *)
+let blank_arrays p =
+  let size = Array.init p (fun off -> p - 1 - off) in
+  let level = Array.make p Varray.null in
+  let kind = Array.make p (Kind.to_int Kind.Text) in
+  let name = Array.make p 0 in
+  let node = Array.make p Varray.null in
+  [| size; level; kind; name; node |]
+
+let splice_pages v ~at_logical ~count =
+  match v.st with
+  | None -> Schema_up.append_pages v.b ~at_logical ~count
+  | Some st ->
+    let anchor =
+      if at_logical = 0 then Start
+      else After_phys (Pagemap.phys_of_logical st.pmap (at_logical - 1))
+    in
+    let fresh = Pagemap.splice st.pmap ~at:at_logical ~count in
+    let p = page_size v in
+    let needed = st.sp_len + count in
+    if needed > Array.length st.sp then begin
+      let sp' = Array.make (max 4 (2 * needed)) [||] in
+      Array.blit st.sp 0 sp' 0 st.sp_len;
+      st.sp <- sp'
+    end;
+    List.iter
+      (fun phys ->
+        assert (phys = st.base_npages + st.sp_len);
+        st.sp.(st.sp_len) <- blank_arrays p;
+        st.sp_len <- st.sp_len + 1)
+      fresh;
+    st.splices <- { anchor; pages = fresh } :: st.splices;
+    fresh
+
+let recompute_free_runs v ~phys_page =
+  match v.st with
+  | None -> Schema_up.recompute_free_runs v.b ~phys_page
+  | Some _ ->
+    let p = page_size v in
+    let base = phys_page * p in
+    let following = ref 0 in
+    for off = p - 1 downto 0 do
+      if read_cell v Clevel (base + off) = Varray.null then begin
+        if read_cell v Csize (base + off) <> !following then
+          write_cell v Csize (base + off) !following;
+        incr following
+      end
+      else following := 0
+    done
+
+(* ---------------------------------------------------------- node identity -- *)
+
+let node_pos_get v id =
+  match v.st with
+  | None -> Schema_up.node_pos_get v.b id
+  | Some st -> (
+    match Hashtbl.find_opt st.node_pos_w id with
+    | Some pos -> pos
+    | None ->
+      if id < Schema_up.node_ids v.b then Schema_up.node_pos_get v.b id
+      else Varray.null)
+
+let node_pos_set v id pos =
+  match v.st with
+  | None -> Schema_up.node_pos_set v.b id pos
+  | Some st -> Hashtbl.replace st.node_pos_w id pos
+
+let fresh_node_id v =
+  match v.st with
+  | None -> Schema_up.fresh_node_id v.b
+  | Some st ->
+    let id = Schema_up.fresh_node_id v.b in
+    st.fresh_nodes <- id :: st.fresh_nodes;
+    id
+
+let free_node_id v id =
+  match v.st with
+  | None -> Schema_up.free_node_id v.b id
+  | Some st ->
+    (* Own reads must see the node as gone; the id returns to the shared
+       allocator only at commit. *)
+    Hashtbl.replace st.node_pos_w id Varray.null;
+    st.freed_nodes <- id :: st.freed_nodes
+
+let add_size_delta v ~node delta =
+  match v.st with
+  | None ->
+    let pos = Schema_up.node_pos_get v.b node in
+    if pos = Varray.null then invalid_arg "View.add_size_delta: freed node";
+    Schema_up.set_cell v.b Csize pos (Schema_up.get_cell v.b Csize pos + delta)
+  | Some st ->
+    let cur = Option.value ~default:0 (Hashtbl.find_opt st.size_deltas node) in
+    Hashtbl.replace st.size_deltas node (cur + delta)
+
+let add_live v d =
+  match v.st with
+  | None -> Schema_up.add_live_nodes v.b d
+  | Some st -> st.live_delta <- st.live_delta + d
+
+(* --------------------------------------------------- dictionaries / pools -- *)
+
+let log_pool v pool id s =
+  match v.st with
+  | None -> ()
+  | Some st -> st.pool_log <- (pool, id, s) :: st.pool_log
+
+let intern_qn v q =
+  let id = Schema_up.intern_qn v.b q in
+  log_pool v Dqn id (Xml.Qname.to_string q);
+  id
+
+let intern_prop v s =
+  let id = Schema_up.intern_prop v.b s in
+  log_pool v Dprop id s;
+  id
+
+let push_text v s =
+  let id = Schema_up.push_text v.b s in
+  log_pool v Ptext id s;
+  id
+
+let push_comment v s =
+  let id = Schema_up.push_comment v.b s in
+  log_pool v Pcomment id s;
+  id
+
+let push_pi v ~target ~data =
+  let id = Schema_up.push_pi v.b ~target ~data in
+  log_pool v Ppi_target id target;
+  log_pool v Ppi_data id data;
+  id
+
+(* -------------------------------------------------------------- attributes -- *)
+
+let attr_add v ~node ~qn ~prop =
+  match v.st with
+  | None -> ignore (Schema_up.attr_add v.b ~node ~qn ~prop)
+  | Some st ->
+    if st.attr_adds_len >= Array.length st.attr_adds then begin
+      let a = Array.make (max 8 (2 * (st.attr_adds_len + 1))) (0, 0, 0) in
+      Array.blit st.attr_adds 0 a 0 st.attr_adds_len;
+      st.attr_adds <- a
+    end;
+    st.attr_adds.(st.attr_adds_len) <- (node, qn, prop);
+    st.attr_adds_len <- st.attr_adds_len + 1
+
+(* Live attribute rows of a node through the view: (row-id, qn, prop).
+   Staged adds get pseudo ids past the snapshot boundary. *)
+let attr_entries v node =
+  match v.st with
+  | None ->
+    List.map
+      (fun row ->
+        let _, qn, prop = Schema_up.attr_row v.b row in
+        (row, qn, prop))
+      (Schema_up.attr_rows_of_node v.b node)
+  | Some st ->
+    let from_base =
+      List.filter_map
+        (fun row ->
+          if row >= v.base_attr_len || List.mem row st.attr_dels then None
+          else
+            let _, qn, prop = Schema_up.attr_row v.b row in
+            Some (row, qn, prop))
+        (Schema_up.attr_rows_of_node v.b node)
+    in
+    let from_staged = ref [] in
+    for i = st.attr_adds_len - 1 downto 0 do
+      let n, qn, prop = st.attr_adds.(i) in
+      if n = node then from_staged := (v.base_attr_len + i, qn, prop) :: !from_staged
+    done;
+    from_base @ !from_staged
+
+let attr_remove_row v row =
+  match v.st with
+  | None -> Schema_up.attr_tombstone v.b ~row
+  | Some st ->
+    if row >= v.base_attr_len then begin
+      let i = row - v.base_attr_len in
+      let _, qn, prop = st.attr_adds.(i) in
+      st.attr_adds.(i) <- (Varray.null, qn, prop)
+    end
+    else st.attr_dels <- row :: st.attr_dels
+
+let attr_remove_node v ~node =
+  List.iter (fun (row, _, _) -> attr_remove_row v row) (attr_entries v node)
+
+let attr_remove_named v ~node ~qn =
+  match List.find_opt (fun (_, q, _) -> q = qn) (attr_entries v node) with
+  | None -> false
+  | Some (row, _, _) ->
+    attr_remove_row v row;
+    true
+
+(* -------------------------------------------------- the storage signature -- *)
+
+let extent = capacity
+
+let node_count v =
+  match v.st with
+  | None -> Schema_up.node_count v.b
+  | Some st -> Schema_up.node_count v.b + st.live_delta
+
+let is_used v pre = read_cell v Clevel (pos_of_pre v pre) <> Varray.null
+
+let next_used v pre =
+  let stop = extent v in
+  let pre = ref pre in
+  while
+    !pre < stop
+    &&
+    let pos = pos_of_pre v !pre in
+    if read_cell v Clevel pos = Varray.null then begin
+      pre := !pre + read_cell v Csize pos + 1;
+      true
+    end
+    else false
+  do
+    ()
+  done;
+  min !pre stop
+
+let prev_used v pre =
+  let mask = page_size v - 1 in
+  let pre = ref (min pre (extent v - 1)) in
+  let continue = ref true in
+  while !pre >= 0 && !continue do
+    if read_cell v Clevel (pos_of_pre v !pre) <> Varray.null then continue := false
+    else begin
+      let page_first = !pre land lnot mask in
+      let first_pos = pos_of_pre v page_first in
+      if
+        read_cell v Clevel first_pos = Varray.null
+        && page_first + read_cell v Csize first_pos >= !pre
+      then pre := page_first - 1
+      else decr pre
+    end
+  done;
+  if !pre < 0 then -1 else !pre
+
+let size v pre =
+  let pos = pos_of_pre v pre in
+  let s = read_cell v Csize pos in
+  match v.st with
+  | None -> s
+  | Some st ->
+    if Hashtbl.length st.size_deltas = 0 || read_cell v Clevel pos = Varray.null
+    then s
+    else
+      s
+      + Option.value ~default:0
+          (Hashtbl.find_opt st.size_deltas (read_cell v Cnode pos))
+
+let level v pre = read_cell v Clevel (pos_of_pre v pre)
+
+let kind v pre = Kind.of_int (read_cell v Ckind (pos_of_pre v pre))
+
+let name_id v pre = read_cell v Cname (pos_of_pre v pre)
+
+let qname v pre =
+  match kind v pre with
+  | Kind.Element -> Schema_up.qn_of_id v.b (name_id v pre)
+  | Kind.Text | Kind.Comment | Kind.Pi -> invalid_arg "View.qname: not an element"
+
+let content v pre =
+  let r = name_id v pre in
+  match kind v pre with
+  | Kind.Text -> Schema_up.text_of_ref v.b r
+  | Kind.Comment -> Schema_up.comment_of_ref v.b r
+  | Kind.Pi -> Schema_up.pi_data_of_ref v.b r
+  | Kind.Element -> invalid_arg "View.content: element node"
+
+let pi_target v pre =
+  match kind v pre with
+  | Kind.Pi -> Schema_up.pi_target_of_ref v.b (name_id v pre)
+  | Kind.Element | Kind.Text | Kind.Comment -> invalid_arg "View.pi_target: not a PI"
+
+let qn_id v q = Schema_up.qn_id v.b q
+
+let node_at_pre v pre =
+  let pos = pos_of_pre v pre in
+  if read_cell v Clevel pos = Varray.null then invalid_arg "View: unused slot";
+  read_cell v Cnode pos
+
+let attributes v pre =
+  let node = node_at_pre v pre in
+  List.map
+    (fun (_, qn, prop) -> (Schema_up.qn_of_id v.b qn, Schema_up.prop_of_id v.b prop))
+    (attr_entries v node)
+
+let attribute v pre q =
+  match qn_id v q with
+  | None -> None
+  | Some qid ->
+    let node = node_at_pre v pre in
+    let rec scan = function
+      | [] -> None
+      | (_, qn, prop) :: rest ->
+        if qn = qid then Some (Schema_up.prop_of_id v.b prop) else scan rest
+    in
+    scan (attr_entries v node)
+
+let root_pre v = next_used v 0

@@ -1,0 +1,129 @@
+(** Access views over the updateable schema.
+
+    The structural update algorithms (Figure 7) and in-transaction query
+    evaluation are written once, against a {!t}:
+
+    - a {e direct} view passes every operation straight through to the base
+      {!Schema_up.t} — the auto-commit path and the single-threaded bench path;
+    - a {e staged} view is a transaction's private world (Figure 8): cell
+      writes to existing pages go into a differential list (the base is
+      read-through, copy-on-write style); new pages are staged privately and
+      referenced only from the view's private pageOffset table; ancestor
+      [size] changes are kept as {e commutative deltas}; attribute and
+      node/pos changes are differential; dictionary/pool appends pass through
+      to the base (append-only, invisible until referenced) but are logged
+      for the WAL.
+
+    A staged view makes {e no} destructive change to base pages, so abort is
+    "drop the view".  The [touch] callback fires before any base-page access
+    so the transaction layer can take incremental page locks; staged pages
+    and size deltas bypass it — that is precisely the paper's trick for not
+    locking the root. *)
+
+type pool = Ptext | Pcomment | Ppi_target | Ppi_data | Dqn | Dprop
+(** Identifies a shared string container in WAL log entries. *)
+
+type anchor = Start | After_phys of int
+(** Where a staged page splice lands, expressed stably: at the logical start,
+    or logically right after a given {e physical} page (physical ids never
+    lose their relative logical order to a splice made elsewhere). *)
+
+type splice = { anchor : anchor; pages : int list (* provisional phys ids *) }
+
+type staged = {
+  base_npages : int;  (** base page count at view creation *)
+  cells : (int, int) Hashtbl.t;  (** key [(pos * 8) lor col] -> new value *)
+  mutable sp : int array array array;  (** staged pages, [|size;level;kind;name;node|] each *)
+  mutable sp_len : int;
+  mutable pmap : Column.Pagemap.t;  (** private pageOffset (base snapshot + own splices) *)
+  mutable splices : splice list;  (** reverse order; replayed at commit *)
+  node_pos_w : (int, int) Hashtbl.t;
+  size_deltas : (int, int) Hashtbl.t;  (** node id -> cumulative size delta *)
+  mutable attr_adds : (int * int * int) array;  (** (node,qn,prop); node = null when cancelled *)
+  mutable attr_adds_len : int;
+  mutable attr_dels : int list;  (** tombstoned base rows *)
+  mutable pool_log : (pool * int * string) list;  (** reverse; for the WAL *)
+  mutable fresh_nodes : int list;  (** ids allocated from the shared allocator *)
+  mutable freed_nodes : int list;  (** ids to release at commit *)
+  mutable live_delta : int;
+  touch : int -> bool -> unit;  (** phys page, [true] = write intent *)
+}
+
+type t
+
+val direct : Schema_up.t -> t
+
+val staged : ?touch:(int -> bool -> unit) -> Schema_up.t -> t
+
+val base : t -> Schema_up.t
+
+val staged_state : t -> staged option
+(** [None] on a direct view. *)
+
+(** {1 The pre view (storage signature for in-view queries)} *)
+
+include Storage_intf.S with type t := t
+
+(** {1 Physical operations (used by the update algorithms)} *)
+
+val page_size : t -> int
+
+val page_bits : t -> int
+
+val npages : t -> int
+(** Including staged pages. *)
+
+val capacity : t -> int
+
+val col_index : Schema_up.col -> int
+(** The column's index in staged-cell keys ([key = pos*8 lor index]) and in
+    staged page arrays. *)
+
+val read_cell : t -> Schema_up.col -> int -> int
+
+val write_cell : t -> Schema_up.col -> int -> int -> unit
+
+val pos_of_pre : t -> int -> int
+
+val pre_of_pos : t -> int -> int
+
+val splice_pages : t -> at_logical:int -> count:int -> int list
+(** Fresh all-unused pages spliced into logical order (staged privately on a
+    staged view). Returns (provisional) physical ids. *)
+
+val recompute_free_runs : t -> phys_page:int -> unit
+
+val node_pos_get : t -> int -> int
+
+val node_pos_set : t -> int -> int -> unit
+
+val fresh_node_id : t -> int
+
+val free_node_id : t -> int -> unit
+
+val add_size_delta : t -> node:int -> int -> unit
+(** Commutative ancestor-size adjustment. Direct view: applied immediately.
+    Staged view: accumulated; own size reads see it. Never touches page
+    locks. *)
+
+val add_live : t -> int -> unit
+
+(** {1 Dictionaries, pools, attributes} *)
+
+val intern_qn : t -> Xml.Qname.t -> int
+
+val intern_prop : t -> string -> int
+
+val push_text : t -> string -> int
+
+val push_comment : t -> string -> int
+
+val push_pi : t -> target:string -> data:string -> int
+
+val attr_add : t -> node:int -> qn:int -> prop:int -> unit
+
+val attr_remove_node : t -> node:int -> unit
+(** Tombstone every attribute of a node (subtree deletion). *)
+
+val attr_remove_named : t -> node:int -> qn:int -> bool
+(** Tombstone one named attribute; [false] when absent. *)

@@ -1,0 +1,164 @@
+open Column
+
+type record = {
+  txn : int;
+  cells : (int * int * int) list;
+  pages : int array array list;
+  page_order : int array;
+  node_pos : (int * int) list;
+  freed_nodes : int list;
+  size_deltas : (int * int) list;
+  attr_adds : (int * int * int) list;
+  attr_dels : int list;
+  pool : (View.pool * int * string) list;
+  live_delta : int;
+}
+
+type t = { path : string; oc : out_channel }
+
+let open_log path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { path; oc }
+
+let pool_tag : View.pool -> int = function
+  | View.Ptext -> 0
+  | View.Pcomment -> 1
+  | View.Ppi_target -> 2
+  | View.Ppi_data -> 3
+  | View.Dqn -> 4
+  | View.Dprop -> 5
+
+let pool_of_tag = function
+  | 0 -> View.Ptext
+  | 1 -> View.Pcomment
+  | 2 -> View.Ppi_target
+  | 3 -> View.Ppi_data
+  | 4 -> View.Dqn
+  | 5 -> View.Dprop
+  | n -> raise (Persist.Dec.Corrupt (Printf.sprintf "bad pool tag %d" n))
+
+let enc_list enc f l =
+  Persist.Enc.int enc (List.length l);
+  List.iter (f enc) l
+
+let dec_list dec f =
+  let n = Persist.Dec.int dec in
+  if n < 0 then raise (Persist.Dec.Corrupt "negative list length");
+  List.init n (fun _ -> f dec)
+
+let encode r =
+  let open Persist.Enc in
+  let enc = create () in
+  int enc r.txn;
+  enc_list enc
+    (fun enc (pos, col, v) ->
+      int enc pos;
+      int enc col;
+      int enc v)
+    r.cells;
+  enc_list enc
+    (fun enc page -> Array.iter (fun col -> int_array enc col) page)
+    r.pages;
+  int_array enc r.page_order;
+  enc_list enc
+    (fun enc (a, b) ->
+      int enc a;
+      int enc b)
+    r.node_pos;
+  enc_list enc (fun enc x -> int enc x) r.freed_nodes;
+  enc_list enc
+    (fun enc (a, b) ->
+      int enc a;
+      int enc b)
+    r.size_deltas;
+  enc_list enc
+    (fun enc (a, b, c) ->
+      int enc a;
+      int enc b;
+      int enc c)
+    r.attr_adds;
+  enc_list enc (fun enc x -> int enc x) r.attr_dels;
+  enc_list enc
+    (fun enc (p, id, s) ->
+      int enc (pool_tag p);
+      int enc id;
+      string enc s)
+    r.pool;
+  int enc r.live_delta;
+  contents enc
+
+let decode payload =
+  let open Persist.Dec in
+  let dec = of_string payload in
+  let txn = int dec in
+  let cells =
+    dec_list dec (fun dec ->
+        let pos = int dec in
+        let col = int dec in
+        let v = int dec in
+        (pos, col, v))
+  in
+  let pages =
+    dec_list dec (fun dec -> Array.init 5 (fun _ -> int_array dec))
+  in
+  let page_order = int_array dec in
+  let node_pos =
+    dec_list dec (fun dec ->
+        let a = int dec in
+        let b = int dec in
+        (a, b))
+  in
+  let freed_nodes = dec_list dec int in
+  let size_deltas =
+    dec_list dec (fun dec ->
+        let a = int dec in
+        let b = int dec in
+        (a, b))
+  in
+  let attr_adds =
+    dec_list dec (fun dec ->
+        let a = int dec in
+        let b = int dec in
+        let c = int dec in
+        (a, b, c))
+  in
+  let attr_dels = dec_list dec int in
+  let pool =
+    dec_list dec (fun dec ->
+        let tag = int dec in
+        let id = int dec in
+        let s = string dec in
+        (pool_of_tag tag, id, s))
+  in
+  let live_delta = int dec in
+  { txn; cells; pages; page_order; node_pos; freed_nodes; size_deltas;
+    attr_adds; attr_dels; pool; live_delta }
+
+let append t r = Persist.write_frame t.oc (encode r)
+
+let close t = close_out t.oc
+
+let sync_path t = t.path
+
+let replay path f =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let count = ref 0 in
+        let rec go () =
+          match Persist.read_frame ic with
+          | None -> ()
+          | Some payload -> (
+            match decode payload with
+            | r ->
+              f r;
+              incr count;
+              go ()
+            | exception Persist.Dec.Corrupt _ -> ())
+        in
+        go ();
+        !count)
+  end

@@ -1,0 +1,54 @@
+(** Write-ahead log (paper §3.2, Figure 8).
+
+    One checksummed frame per committed transaction, written (and flushed)
+    while the global write lock is held — "writing the WAL is the crucial
+    stage in transaction commit, it consists of a single I/O".  A record is a
+    self-contained {e redo} description of the commit:
+
+    - the differential cell list for existing pages,
+    - the full contents of the freshly appended pages,
+    - the new logical page order (the paper's "shifts introduced in the
+      pageOffset table"),
+    - node/pos changes and freed node ids,
+    - ancestor size {e deltas} (not absolute values — deltas keep replay
+      commutative with the same argument the live protocol uses),
+    - attribute adds/deletes and dictionary/pool appends at pinned ids.
+
+    Recovery = load the last checkpoint, then {!replay} every intact frame;
+    a torn or corrupt tail frame ends replay (see {!Column.Persist}). *)
+
+type record = {
+  txn : int;
+  cells : (int * int * int) list;  (** (pos, col-index, value) on old pages *)
+  pages : int array array list;  (** appended pages, physical order *)
+  page_order : int array;  (** complete logical→physical order after commit *)
+  node_pos : (int * int) list;
+  freed_nodes : int list;
+  size_deltas : (int * int) list;  (** (node id, delta) *)
+  attr_adds : (int * int * int) list;
+  attr_dels : int list;
+  pool : (View.pool * int * string) list;
+  live_delta : int;
+}
+
+type t
+
+val open_log : string -> t
+(** Open (create or append to) a WAL file. *)
+
+val append : t -> record -> unit
+(** Write one frame and flush — the commit point. *)
+
+val close : t -> unit
+
+val sync_path : t -> string
+
+val replay : string -> (record -> unit) -> int
+(** Feed every intact record of a WAL file, in order, to the callback;
+    returns the number of records applied. A missing file replays zero. *)
+
+val encode : record -> string
+(** Exposed for tests (frame payload of a record). *)
+
+val decode : string -> record
+(** Raises {!Column.Persist.Dec.Corrupt} on malformed payloads. *)

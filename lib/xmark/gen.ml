@@ -1,0 +1,234 @@
+module Dom = Xml.Dom
+module Qname = Xml.Qname
+
+type config = {
+  items : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+  seed : int;
+}
+
+let config_of_scale ?(seed = 20050401) f =
+  if f <= 0.0 then invalid_arg "Gen.config_of_scale: scale must be positive";
+  let n base = max 1 (int_of_float (Float.round (float_of_int base *. f))) in
+  { items = n 21750;
+    people = n 25500;
+    open_auctions = n 12000;
+    closed_auctions = n 9750;
+    categories = n 1000;
+    seed }
+
+let regions = [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ]
+
+(* Shakespeare-flavoured word list, as in xmlgen. *)
+let words =
+  [| "gold"; "silver"; "sword"; "honour"; "duty"; "merchant"; "galley"; "ship";
+     "summer"; "winter"; "castle"; "king"; "queen"; "knight"; "letter"; "purse";
+     "crown"; "garden"; "river"; "mountain"; "shadow"; "light"; "storm";
+     "harbour"; "spice"; "velvet"; "candle"; "mirror"; "anchor"; "compass" |]
+
+let el ?(attrs = []) name children = Dom.Element { name = Qname.make name; attrs; children }
+
+let attr name v = (Qname.make name, v)
+
+let txt s = Dom.Text s
+
+(* xorshift-style deterministic PRNG; no dependence on Stdlib.Random so the
+   same config always yields the same document, bit for bit. *)
+type rng = { mutable state : int }
+
+let rng_make seed = { state = (if seed = 0 then 0x9E3779B9 else seed) land max_int }
+
+let rand r n =
+  let x = r.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  r.state <- x;
+  x mod n
+
+let word r = words.(rand r (Array.length words))
+
+let sentence r n_words =
+  let b = Buffer.create 32 in
+  for i = 1 to n_words do
+    if i > 1 then Buffer.add_char b ' ';
+    Buffer.add_string b (word r)
+  done;
+  Buffer.contents b
+
+let text_block r = txt (sentence r (3 + rand r 10))
+
+let description r =
+  (* sometimes structured (parlist), mostly flat text *)
+  if rand r 4 = 0 then
+    el "description"
+      [ el "parlist"
+          [ el "listitem" [ el "text" [ text_block r ] ];
+            el "listitem"
+              [ el "parlist"
+                  [ el "listitem"
+                      [ el "text"
+                          [ text_block r;
+                            el "emph" [ el "keyword" [ txt (word r) ] ] ] ] ] ] ] ]
+  else el "description" [ el "text" [ text_block r ] ]
+
+let item r ~id ~ncats =
+  let incats =
+    List.init
+      (1 + rand r 3)
+      (fun _ -> el ~attrs:[ attr "category" (Printf.sprintf "category%d" (rand r ncats)) ] "incategory" [])
+  in
+  let mailbox =
+    el "mailbox"
+      (List.init (rand r 2) (fun _ ->
+           el "mail"
+             [ el "from" [ txt (word r) ];
+               el "to" [ txt (word r) ];
+               el "date" [ txt (Printf.sprintf "%02d/%02d/2005" (1 + rand r 12) (1 + rand r 28)) ];
+               el "text" [ text_block r ] ]))
+  in
+  el ~attrs:(( attr "id" (Printf.sprintf "item%d" id))
+             :: (if rand r 10 = 0 then [ attr "featured" "yes" ] else []))
+    "item"
+    ([ el "location" [ txt (word r) ];
+       el "quantity" [ txt (string_of_int (1 + rand r 5)) ];
+       el "name" [ txt (sentence r 2) ];
+       el "payment" [ txt "Cash" ];
+       description r;
+       el "shipping" [ txt "Will ship internationally" ] ]
+    @ incats @ [ mailbox ])
+
+let person r ~id =
+  let profile =
+    el
+      ~attrs:[ attr "income" (Printf.sprintf "%d" (9876 + rand r 90000)) ]
+      "profile"
+      ([ el "interest"
+           ~attrs:[ attr "category" (Printf.sprintf "category%d" (rand r 50)) ]
+           [] ]
+      @ (if rand r 2 = 0 then [ el "education" [ txt "Graduate School" ] ] else [])
+      @ [ el "gender" [ txt (if rand r 2 = 0 then "male" else "female") ];
+          el "business" [ txt (if rand r 2 = 0 then "Yes" else "No") ];
+          el "age" [ txt (string_of_int (18 + rand r 50)) ] ])
+  in
+  el
+    ~attrs:[ attr "id" (Printf.sprintf "person%d" id) ]
+    "person"
+    ([ el "name" [ txt (Printf.sprintf "%s %s" (String.capitalize_ascii (word r)) (String.capitalize_ascii (word r))) ];
+       el "emailaddress" [ txt (Printf.sprintf "mailto:%s%d@example.net" (word r) id) ] ]
+    @ (if rand r 3 > 0 then [ el "phone" [ txt (Printf.sprintf "+31 (%d) %d" (rand r 99) (rand r 9999999)) ] ] else [])
+    @ (if rand r 2 = 0 then
+         [ el "address"
+             [ el "street" [ txt (Printf.sprintf "%d %s St" (1 + rand r 99) (String.capitalize_ascii (word r))) ];
+               el "city" [ txt (String.capitalize_ascii (word r)) ];
+               el "country" [ txt "United States" ];
+               el "zipcode" [ txt (string_of_int (10000 + rand r 89999)) ] ] ]
+       else [])
+    @ (if rand r 2 = 0 then [ el "homepage" [ txt (Printf.sprintf "http://example.net/~%s%d" (word r) id) ] ] else [])
+    @ (if rand r 4 = 0 then [ el "creditcard" [ txt (Printf.sprintf "%04d %04d %04d %04d" (rand r 9999) (rand r 9999) (rand r 9999) (rand r 9999)) ] ] else [])
+    @ [ profile;
+        el "watches"
+          (List.init (rand r 3) (fun _ ->
+               el "watch"
+                 ~attrs:[ attr "open_auction" (Printf.sprintf "open_auction%d" (rand r 1000)) ]
+                 [] )) ])
+
+let bidder r ~npeople ~base ~i =
+  el "bidder"
+    [ el "date" [ txt (Printf.sprintf "%02d/%02d/2005" (1 + rand r 12) (1 + rand r 28)) ];
+      el "time" [ txt (Printf.sprintf "%02d:%02d:%02d" (rand r 24) (rand r 60) (rand r 60)) ];
+      el "personref" ~attrs:[ attr "person" (Printf.sprintf "person%d" (rand r npeople)) ] [];
+      el "increase" [ txt (Printf.sprintf "%d.00" (base + (3 * (i + 1)) + rand r 10)) ] ]
+
+let open_auction r ~id ~npeople ~nitems =
+  let nbidders = rand r 5 in
+  let base = 1 + rand r 20 in
+  el
+    ~attrs:[ attr "id" (Printf.sprintf "open_auction%d" id) ]
+    "open_auction"
+    ([ el "initial" [ txt (Printf.sprintf "%d.%02d" (1 + rand r 300) (rand r 100)) ] ]
+    @ List.init nbidders (fun i -> bidder r ~npeople ~base ~i)
+    @ [ el "current" [ txt (Printf.sprintf "%d.00" (base + (3 * nbidders) + 10)) ];
+        el "itemref" ~attrs:[ attr "item" (Printf.sprintf "item%d" (rand r nitems)) ] [];
+        el "seller" ~attrs:[ attr "person" (Printf.sprintf "person%d" (rand r npeople)) ] [];
+        el "annotation"
+          [ el "author" ~attrs:[ attr "person" (Printf.sprintf "person%d" (rand r npeople)) ] [];
+            description r;
+            el "happiness" [ txt (string_of_int (1 + rand r 10)) ] ];
+        el "quantity" [ txt (string_of_int (1 + rand r 5)) ];
+        el "type" [ txt (if rand r 2 = 0 then "Regular" else "Featured") ];
+        el "interval"
+          [ el "start" [ txt "01/01/2005" ]; el "end" [ txt "12/31/2005" ] ] ])
+
+let closed_auction r ~npeople ~nitems =
+  el "closed_auction"
+    [ el "seller" ~attrs:[ attr "person" (Printf.sprintf "person%d" (rand r npeople)) ] [];
+      el "buyer" ~attrs:[ attr "person" (Printf.sprintf "person%d" (rand r npeople)) ] [];
+      el "itemref" ~attrs:[ attr "item" (Printf.sprintf "item%d" (rand r nitems)) ] [];
+      el "price" [ txt (Printf.sprintf "%d.%02d" (1 + rand r 200) (rand r 100)) ];
+      el "date" [ txt (Printf.sprintf "%02d/%02d/2005" (1 + rand r 12) (1 + rand r 28)) ];
+      el "quantity" [ txt (string_of_int (1 + rand r 5)) ];
+      el "type" [ txt "Regular" ];
+      el "annotation"
+        [ el "author" ~attrs:[ attr "person" (Printf.sprintf "person%d" (rand r npeople)) ] [];
+          description r;
+          el "happiness" [ txt (string_of_int (1 + rand r 10)) ] ] ]
+
+let generate cfg =
+  let r = rng_make cfg.seed in
+  let nregions = List.length regions in
+  let region_items =
+    List.mapi
+      (fun ri name ->
+        let count =
+          (cfg.items / nregions) + (if ri < cfg.items mod nregions then 1 else 0)
+        in
+        let start = ri * (cfg.items / nregions) + min ri (cfg.items mod nregions) in
+        el name (List.init count (fun i -> item r ~id:(start + i) ~ncats:cfg.categories)))
+      regions
+  in
+  let categories =
+    el "categories"
+      (List.init cfg.categories (fun i ->
+           el
+             ~attrs:[ attr "id" (Printf.sprintf "category%d" i) ]
+             "category"
+             [ el "name" [ txt (sentence r 2) ]; description r ]))
+  in
+  let catgraph =
+    el "catgraph"
+      (List.init (cfg.categories / 2) (fun _ ->
+           el "edge"
+             ~attrs:[ attr "from" (Printf.sprintf "category%d" (rand r cfg.categories));
+                      attr "to" (Printf.sprintf "category%d" (rand r cfg.categories)) ]
+             []))
+  in
+  let people =
+    el "people" (List.init cfg.people (fun i -> person r ~id:i))
+  in
+  let open_auctions =
+    el "open_auctions"
+      (List.init cfg.open_auctions (fun i ->
+           open_auction r ~id:i ~npeople:cfg.people ~nitems:cfg.items))
+  in
+  let closed_auctions =
+    el "closed_auctions"
+      (List.init cfg.closed_auctions (fun _ ->
+           closed_auction r ~npeople:cfg.people ~nitems:cfg.items))
+  in
+  match
+    el "site"
+      [ el "regions" region_items;
+        categories;
+        catgraph;
+        people;
+        open_auctions;
+        closed_auctions ]
+  with
+  | Dom.Element root -> { Dom.root }
+  | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> assert false
+
+let of_scale ?seed f = generate (config_of_scale ?seed f)

@@ -1,0 +1,30 @@
+(** A deterministic, scalable XMark-style document generator.
+
+    Reproduces the auction-site shape of the XMark benchmark (regions with
+    items, categories and a category graph, people with profiles, open
+    auctions with bidder lists, closed auctions) that the paper's evaluation
+    runs on.  The scale factor plays xmlgen's role: cardinalities grow
+    linearly, text is drawn from a fixed word list, and the same
+    [(scale, seed)] always produces the same document. *)
+
+type config = {
+  items : int;  (** per all six regions together *)
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+  categories : int;
+  seed : int;
+}
+
+val config_of_scale : ?seed:int -> float -> config
+(** XMark cardinalities at a scale factor: at 1.0 roughly 21750 items, 25500
+    people, 12000 open and 9750 closed auctions, 1000 categories (all
+    clamped to at least 1; our laptop-scale runs use small factors). *)
+
+val generate : config -> Xml.Dom.t
+
+val of_scale : ?seed:int -> float -> Xml.Dom.t
+(** [generate (config_of_scale f)]. *)
+
+val regions : string list
+(** The six region element names. *)

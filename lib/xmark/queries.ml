@@ -1,0 +1,337 @@
+type result = { cardinality : int; checksum : int }
+
+let query_count = 20
+
+let name i = Printf.sprintf "Q%d" i
+
+let descriptions =
+  [| "exact match on person id (point lookup)";
+    "first bidder increase of every open auction (positional child)";
+    "auctions whose first bid doubled by the end (positional + arithmetic)";
+    "bidder order test inside auctions (document order)";
+    "count closed auctions with price >= 40 (selection + aggregate)";
+    "count all items under regions (descendant scan)";
+    "count descriptions, mails and emailaddresses (multi-path count)";
+    "buyers per person (equi-join person/closed on id)";
+    "European purchases per person (three-way join)";
+    "persons grouped by interest category (grouping / restructuring)";
+    "open auctions a person can afford (value join on income)";
+    "as Q11 for incomes over 50000 (filtered value join)";
+    "names and descriptions of Australian items (reconstruction)";
+    "items whose description mentions 'gold' (full-text scan)";
+    "deeply nested keyword path (long path traversal)";
+    "sellers of auctions with the deep keyword path (long path + attr)";
+    "persons without a homepage (negation)";
+    "currency conversion over all initial bids (arithmetic map)";
+    "items sorted by location (order by)";
+    "income demographics of people (multi-bucket aggregate)" |]
+
+let description i =
+  if i < 1 || i > 20 then invalid_arg "Queries.description";
+  descriptions.(i - 1)
+
+module Make (S : Core.Storage_intf.S) = struct
+  module E = Core.Engine.Make (S)
+  module Sj = Core.Staircase.Make (S)
+
+  let path = Xpath.Xpath_parser.parse
+
+  (* Result strings are folded into an order-sensitive checksum so schemas
+     can be compared without holding results. *)
+  let summarize strings =
+    let checksum =
+      List.fold_left
+        (fun acc s -> (acc * 1000003) lxor Hashtbl.hash s land max_int)
+        0 strings
+    in
+    { cardinality = List.length strings; checksum }
+
+  let strings_of t p = List.map (E.item_string t) (E.eval_items t p)
+
+  let nodes_of t p = E.eval_nodes t p
+
+  let float_of s = match float_of_string_opt (String.trim s) with Some f -> f | None -> 0.0
+
+  (* child element by name, first hit *)
+  let child_named t pre nm =
+    List.find_opt
+      (fun c -> S.kind t c = Core.Kind.Element && Xml.Qname.to_string (S.qname t c) = nm)
+      (Sj.children t [ pre ])
+
+  let children_named t pre nm =
+    List.filter
+      (fun c -> S.kind t c = Core.Kind.Element && Xml.Qname.to_string (S.qname t c) = nm)
+      (Sj.children t [ pre ])
+
+  let child_text t pre nm =
+    match child_named t pre nm with Some c -> E.string_value t c | None -> ""
+
+  let attr t pre nm = Option.value ~default:"" (S.attribute t pre (Xml.Qname.make nm))
+
+  let q1 t = strings_of t (path "/site/people/person[@id='person0']/name/text()")
+
+  let q2 t =
+    strings_of t (path "/site/open_auctions/open_auction/bidder[1]/increase/text()")
+
+  let q3 t =
+    (* first increase * 2 <= last increase *)
+    List.filter_map
+      (fun auction ->
+        match children_named t auction "bidder" with
+        | [] | [ _ ] -> None
+        | first :: rest ->
+          let last = List.nth rest (List.length rest - 1) in
+          let inc b = float_of (child_text t b "increase") in
+          if inc first *. 2.0 <= inc last then
+            Some (Printf.sprintf "%s->%s" (child_text t first "increase")
+                    (child_text t last "increase"))
+          else None)
+      (nodes_of t (path "/site/open_auctions/open_auction"))
+
+  let q4 t =
+    (* auctions where some bidder of an even person id precedes one of an odd
+       person id — a document-order test among siblings *)
+    List.filter_map
+      (fun auction ->
+        let bidders = children_named t auction "bidder" in
+        let person b =
+          match child_named t b "personref" with
+          | Some r -> attr t r "person"
+          | None -> ""
+        in
+        let parity b =
+          let p = person b in
+          if String.length p <= 6 then None
+          else
+            match int_of_string_opt (String.sub p 6 (String.length p - 6)) with
+            | Some n -> Some (n land 1)
+            | None -> None
+        in
+        let rec scan seen_even = function
+          | [] -> None
+          | b :: rest -> (
+            match parity b with
+            | Some 0 -> scan true rest
+            | Some 1 when seen_even -> Some (child_text t auction "initial")
+            | Some _ | None -> scan seen_even rest)
+        in
+        scan false bidders)
+      (nodes_of t (path "/site/open_auctions/open_auction"))
+
+  let q5 t =
+    let n =
+      List.length
+        (List.filter
+           (fun p -> float_of (E.string_value t p) >= 40.0)
+           (nodes_of t (path "/site/closed_auctions/closed_auction/price")))
+    in
+    [ string_of_int n ]
+
+  let q6 t = [ string_of_int (E.count t (path "/site/regions/*/item")) ]
+
+  let q7 t =
+    let n =
+      E.count t (path "//description") + E.count t (path "//mail")
+      + E.count t (path "//emailaddress")
+    in
+    [ string_of_int n ]
+
+  (* join helpers *)
+  let buyer_counts t =
+    let h = Hashtbl.create 256 in
+    List.iter
+      (fun b ->
+        let p = attr t b "person" in
+        Hashtbl.replace h p (1 + Option.value ~default:0 (Hashtbl.find_opt h p)))
+      (nodes_of t (path "/site/closed_auctions/closed_auction/buyer"));
+    h
+
+  let q8 t =
+    let counts = buyer_counts t in
+    List.map
+      (fun person ->
+        let id = attr t person "id" in
+        Printf.sprintf "%s:%d" (child_text t person "name")
+          (Option.value ~default:0 (Hashtbl.find_opt counts id)))
+      (nodes_of t (path "/site/people/person"))
+
+  let q9 t =
+    (* name of European items bought per person *)
+    let europe_items = Hashtbl.create 256 in
+    List.iter
+      (fun item -> Hashtbl.replace europe_items (attr t item "id") (child_text t item "name"))
+      (nodes_of t (path "/site/regions/europe/item"));
+    let purchases = Hashtbl.create 256 in
+    List.iter
+      (fun ca ->
+        match child_named t ca "buyer", child_named t ca "itemref" with
+        | Some b, Some ir -> (
+          let item = attr t ir "item" in
+          match Hashtbl.find_opt europe_items item with
+          | Some iname ->
+            let p = attr t b "person" in
+            Hashtbl.replace purchases p
+              (iname :: Option.value ~default:[] (Hashtbl.find_opt purchases p))
+          | None -> ())
+        | _ -> ())
+      (nodes_of t (path "/site/closed_auctions/closed_auction"));
+    List.filter_map
+      (fun person ->
+        match Hashtbl.find_opt purchases (attr t person "id") with
+        | Some items ->
+          Some
+            (Printf.sprintf "%s:%s" (child_text t person "name")
+               (String.concat "," (List.sort compare items)))
+        | None -> None)
+      (nodes_of t (path "/site/people/person"))
+
+  let q10 t =
+    (* group people by interest category *)
+    let groups = Hashtbl.create 64 in
+    List.iter
+      (fun person ->
+        let name = child_text t person "name" in
+        List.iter
+          (fun interest ->
+            let cat = attr t interest "category" in
+            Hashtbl.replace groups cat
+              (name :: Option.value ~default:[] (Hashtbl.find_opt groups cat)))
+          (E.eval_nodes t ~context:[ person ] (path "profile/interest")))
+      (nodes_of t (path "/site/people/person"));
+    Hashtbl.fold
+      (fun cat names acc ->
+        Printf.sprintf "%s:%d:%d" cat (List.length names)
+          (Hashtbl.hash (List.sort compare names))
+        :: acc)
+      groups []
+    |> List.sort compare
+
+  let incomes t =
+    List.map
+      (fun person ->
+        ( child_text t person "name",
+          float_of
+            (match E.eval_nodes t ~context:[ person ] (path "profile") with
+            | profile :: _ -> attr t profile "income"
+            | [] -> "") ))
+      (nodes_of t (path "/site/people/person"))
+
+  let initials t =
+    List.map (fun i -> float_of (E.string_value t i))
+      (nodes_of t (path "/site/open_auctions/open_auction/initial"))
+
+  let q11 t =
+    let inits = initials t in
+    List.map
+      (fun (name, income) ->
+        let n = List.length (List.filter (fun i -> income > 5000.0 *. i) inits) in
+        Printf.sprintf "%s:%d" name n)
+      (incomes t)
+
+  let q12 t =
+    let inits = initials t in
+    List.filter_map
+      (fun (name, income) ->
+        if income > 50000.0 then
+          Some
+            (Printf.sprintf "%s:%d" name
+               (List.length (List.filter (fun i -> income > 5000.0 *. i) inits)))
+        else None)
+      (incomes t)
+
+  let q13 t =
+    List.map
+      (fun item ->
+        Printf.sprintf "%s|%s" (child_text t item "name") (child_text t item "description"))
+      (nodes_of t (path "/site/regions/australia/item"))
+
+  let contains_word hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+
+  let q14 t =
+    List.filter_map
+      (fun item ->
+        match child_named t item "description" with
+        | Some d when contains_word (E.string_value t d) "gold" ->
+          Some (child_text t item "name")
+        | Some _ | None -> None)
+      (nodes_of t (path "/site/regions/*/item"))
+
+  let deep_path =
+    "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem/\
+     parlist/listitem/text/emph/keyword/text()"
+
+  let q15 t = strings_of t (path deep_path)
+
+  let q16 t =
+    List.filter_map
+      (fun ca ->
+        let hit =
+          E.eval_items t ~context:[ ca ]
+            (path
+               "annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword")
+          <> []
+        in
+        if hit then
+          match child_named t ca "seller" with
+          | Some s -> Some (attr t s "person")
+          | None -> None
+        else None)
+      (nodes_of t (path "/site/closed_auctions/closed_auction"))
+
+  let q17 t = strings_of t (path "/site/people/person[not(homepage)]/name/text()")
+
+  let q18 t =
+    List.map
+      (fun i -> Printf.sprintf "%.2f" (2.20371 *. i))
+      (initials t)
+
+  let q19 t =
+    let pairs =
+      List.map
+        (fun item -> (child_text t item "location", child_text t item "name"))
+        (nodes_of t (path "/site/regions/*/item"))
+    in
+    List.map
+      (fun (l, n) -> Printf.sprintf "%s:%s" l n)
+      (List.sort compare pairs)
+
+  let q20 t =
+    let incs = List.map snd (incomes t) in
+    let count f = List.length (List.filter f incs) in
+    [ Printf.sprintf "rich:%d" (count (fun i -> i >= 72000.0));
+      Printf.sprintf "mid:%d" (count (fun i -> i >= 45000.0 && i < 72000.0));
+      Printf.sprintf "modest:%d" (count (fun i -> i > 0.0 && i < 45000.0));
+      Printf.sprintf "none:%d" (count (fun i -> i <= 0.0)) ]
+
+  let run t i =
+    let f =
+      match i with
+      | 1 -> q1
+      | 2 -> q2
+      | 3 -> q3
+      | 4 -> q4
+      | 5 -> q5
+      | 6 -> q6
+      | 7 -> q7
+      | 8 -> q8
+      | 9 -> q9
+      | 10 -> q10
+      | 11 -> q11
+      | 12 -> q12
+      | 13 -> q13
+      | 14 -> q14
+      | 15 -> q15
+      | 16 -> q16
+      | 17 -> q17
+      | 18 -> q18
+      | 19 -> q19
+      | 20 -> q20
+      | _ -> invalid_arg "Queries.run: query number out of 1..20"
+    in
+    summarize (f t)
+
+  let run_all t = Array.init query_count (fun i -> run t (i + 1))
+end

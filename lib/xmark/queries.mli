@@ -1,0 +1,27 @@
+(** The XMark query set (Q1–Q20), the workload of the paper's evaluation
+    (Figure 9).
+
+    Each query is implemented once, as a functor over the storage signature,
+    so the read-only and updateable schemas execute byte-identical plans and
+    their running-time ratio measures exactly the storage representation —
+    the quantity Figure 9 reports.  Queries return a cardinality and an
+    order-sensitive checksum of their result strings, letting the test suite
+    assert that both schemas compute identical answers. *)
+
+type result = { cardinality : int; checksum : int }
+
+val query_count : int
+(** 20. *)
+
+val name : int -> string
+(** ["Q1"] .. ["Q20"]. *)
+
+val description : int -> string
+(** What the query exercises (point lookup, sibling order, join, ...). *)
+
+module Make (S : Core.Storage_intf.S) : sig
+  val run : S.t -> int -> result
+  (** Execute query [1..20]. Raises [Invalid_argument] outside the range. *)
+
+  val run_all : S.t -> result array
+end

@@ -1,0 +1,78 @@
+module View = Core.View
+module U = Core.Update
+module E = Core.Engine.Make (Core.View)
+
+type rng = { mutable state : int }
+
+let rand r n =
+  let x = r.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  r.state <- x;
+  x mod n
+
+let bidder_fragment r =
+  Printf.sprintf
+    "<bidder><date>06/06/2005</date><time>12:00:00</time><personref person='person%d'/><increase>%d.00</increase></bidder>"
+    (rand r 1000) (1 + rand r 50)
+
+let churn store ~ops ~seed =
+  let v = View.direct store in
+  let auctions =
+    List.map
+      (fun pre -> Core.Schema_up.node_at store ~pre)
+      (E.eval_nodes v (Xpath.Xpath_parser.parse "/site/open_auctions/open_auction"))
+  in
+  if auctions = [] then 0
+  else begin
+    let auctions = Array.of_list auctions in
+    let r = { state = (if seed = 0 then 1 else seed) } in
+    let inserted = ref [] in
+    let applied = ref 0 in
+    for i = 1 to ops do
+      let delete_phase = i land 1 = 0 && !inserted <> [] in
+      if delete_phase then begin
+        match !inserted with
+        | [] -> ()
+        | node :: rest ->
+          inserted := rest;
+          (match View.node_pos_get v node with
+          | pos when pos <> Column.Varray.null ->
+            U.delete v ~pre:(View.pre_of_pos v pos);
+            incr applied
+          | _ -> ())
+      end
+      else begin
+        let auction = auctions.(rand r (Array.length auctions)) in
+        match View.node_pos_get v auction with
+        | pos when pos <> Column.Varray.null ->
+          let pre = View.pre_of_pos v pos in
+          let frag = Xml.Xml_parser.parse_fragment (bidder_fragment r) in
+          U.insert v (U.First_child pre) frag;
+          (* remember the bidder's node id for a later delete *)
+          (match E.eval_nodes v ~context:[ pre ] (Xpath.Xpath_parser.parse "bidder[1]") with
+          | b :: _ -> inserted := Core.Schema_up.node_at store ~pre:b :: !inserted
+          | [] -> ());
+          incr applied
+        | _ -> ()
+      end
+    done;
+    !applied
+  end
+
+let insert_bidder_xupdate ~auction_id ~person =
+  Printf.sprintf
+    {|<xupdate:modifications>
+        <xupdate:append select="/site/open_auctions/open_auction[@id='%s']">
+          <bidder><date>06/06/2005</date><time>12:00:00</time><personref person='%s'/><increase>3.00</increase></bidder>
+        </xupdate:append>
+      </xupdate:modifications>|}
+    auction_id person
+
+let delete_last_bidder_xupdate ~auction_id =
+  Printf.sprintf
+    {|<xupdate:modifications>
+        <xupdate:remove select="/site/open_auctions/open_auction[@id='%s']/bidder[last()]"/>
+      </xupdate:modifications>|}
+    auction_id

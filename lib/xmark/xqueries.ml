@@ -1,0 +1,116 @@
+let q1 =
+  {|for $b in /site/people/person[@id='person0'] return string($b/name)|}
+
+let q2 =
+  {|for $i in /site/open_auctions/open_auction/bidder[1]/increase return string($i)|}
+
+let q3 =
+  {|for $a in /site/open_auctions/open_auction
+    where count($a/bidder) > 1
+      and number($a/bidder[1]/increase) * 2 <= number($a/bidder[last()]/increase)
+    return <increase first="{string($a/bidder[1]/increase)}"
+                     last="{string($a/bidder[last()]/increase)}"/>|}
+
+(* approximate: the plan's document-order test between two bidders has no
+   direct counterpart in the subset *)
+let q4 =
+  {|for $a in /site/open_auctions/open_auction
+    where exists($a/bidder/personref[@person = 'person0'])
+    return string($a/initial)|}
+
+let q5 =
+  {|count(for $i in /site/closed_auctions/closed_auction
+          where $i/price >= 40 return $i/price)|}
+
+let q6 = {|count(/site/regions/*/item)|}
+
+let q7 = {|count(//description) + count(//mail) + count(//emailaddress)|}
+
+let q8 =
+  {|for $p in /site/people/person
+    let $a := for $t in /site/closed_auctions/closed_auction
+              where $t/buyer/@person = $p/@id
+              return $t
+    return <item person="{string($p/name)}">{count($a)}</item>|}
+
+let q9 =
+  {|for $p in /site/people/person
+    let $a := for $t in /site/closed_auctions/closed_auction
+              where $p/@id = $t/buyer/@person
+                and exists(for $i in /site/regions/europe/item
+                           where $i/@id = $t/itemref/@item
+                           return $i)
+              return $t
+    where count($a) > 0
+    return <person name="{string($p/name)}">{count($a)}</person>|}
+
+let q10 =
+  {|for $c in distinct-values(/site/people/person/profile/interest/@category)
+    let $g := for $p in /site/people/person
+              where $p/profile/interest/@category = $c
+              return string($p/name)
+    return <categorie cat="{$c}">{count($g)}</categorie>|}
+
+let q11 =
+  {|for $p in /site/people/person
+    let $l := for $i in /site/open_auctions/open_auction/initial
+              where number($p/profile/@income) > 5000 * number($i)
+              return $i
+    return <items name="{string($p/name)}">{count($l)}</items>|}
+
+let q12 =
+  {|for $p in /site/people/person
+    let $l := for $i in /site/open_auctions/open_auction/initial
+              where number($p/profile/@income) > 5000 * number($i)
+              return $i
+    where number($p/profile/@income) > 50000
+    return <items person="{string($p/name)}">{count($l)}</items>|}
+
+let q13 =
+  {|for $i in /site/regions/australia/item
+    return <item name="{string($i/name)}">{$i/description}</item>|}
+
+let q14 =
+  {|for $i in /site/regions/*/item
+    where contains(string($i/description), 'gold')
+    return string($i/name)|}
+
+let q15 =
+  {|for $a in /site/closed_auctions/closed_auction/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword/text()
+    return <text>{string($a)}</text>|}
+
+let q16 =
+  {|for $a in /site/closed_auctions/closed_auction
+    where exists($a/annotation/description/parlist/listitem/parlist/listitem/text/emph/keyword)
+    return <person id="{string($a/seller/@person)}"/>|}
+
+let q17 =
+  {|for $p in /site/people/person
+    where empty($p/homepage)
+    return <person name="{string($p/name)}"/>|}
+
+let q18 =
+  {|for $i in /site/open_auctions/open_auction/initial
+    return number($i) * 2.20371|}
+
+let q19 =
+  {|for $b in /site/regions/*/item
+    let $k := string($b/name)
+    order by string($b/location)
+    return <item name="{$k}">{string($b/location)}</item>|}
+
+let q20 =
+  {|(count(/site/people/person/profile[@income >= 72000]),
+     count(/site/people/person/profile[@income >= 45000 and @income < 72000]),
+     count(/site/people/person/profile[@income > 0 and @income < 45000]),
+     count(for $p in /site/people/person where empty($p/profile/@income) return $p))|}
+
+let texts =
+  [| q1; q2; q3; q4; q5; q6; q7; q8; q9; q10; q11; q12; q13; q14; q15; q16;
+     q17; q18; q19; q20 |]
+
+let text i =
+  if i < 1 || i > 20 then invalid_arg "Xqueries.text: query number out of 1..20";
+  texts.(i - 1)
+
+let approximate i = i = 4

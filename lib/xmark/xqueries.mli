@@ -1,0 +1,16 @@
+(** The XMark queries as actual XQuery text.
+
+    XMark is an XQuery benchmark; {!Queries} implements the twenty queries as
+    hand-written plans (what Pathfinder would compile them to), while this
+    module states them in the FLWOR subset of {!Xquery} — adapted where the
+    subset lacks a feature (noted per query).  The test suite checks that
+    evaluating the text yields the same result cardinality as the plan for
+    every non-approximate query, on both storage schemas. *)
+
+val text : int -> string
+(** XQuery source of query [1..20]. Raises [Invalid_argument] outside. *)
+
+val approximate : int -> bool
+(** [true] when the text is a semantic approximation of the hand-written
+    plan (currently only Q4, whose sibling-order test has no direct FLWOR
+    counterpart in the subset), so cardinalities are not comparable. *)

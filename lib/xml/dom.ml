@@ -1,0 +1,166 @@
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { name : Qname.t; attrs : (Qname.t * string) list; children : node list }
+
+type t = { root : element }
+
+let element ?(attrs = []) ?(children = []) name =
+  Element { name = Qname.of_string name; attrs; children }
+
+let text s = Text s
+
+let doc root = { root }
+
+let rec size_of = function
+  | Element e -> List.fold_left (fun acc c -> acc + 1 + size_of c) 0 e.children
+  | Text _ | Comment _ | Pi _ -> 0
+
+let subtree_size = size_of
+
+let node_count d = 1 + size_of (Element d.root)
+
+let rec depth_of = function
+  | Element e -> List.fold_left (fun acc c -> max acc (1 + depth_of c)) 0 e.children
+  | Text _ | Comment _ | Pi _ -> 0
+
+let depth d = depth_of (Element d.root)
+
+let iter_pre_order f d =
+  let rec go level n =
+    f ~level n;
+    match n with
+    | Element e -> List.iter (go (level + 1)) e.children
+    | Text _ | Comment _ | Pi _ -> ()
+  in
+  go 0 (Element d.root)
+
+let nodes_pre_order d =
+  let acc = ref [] in
+  iter_pre_order (fun ~level n -> acc := (level, n) :: !acc) d;
+  List.rev !acc
+
+let pre_size_level d =
+  let items = nodes_pre_order d in
+  let arr =
+    Array.of_list
+      (List.mapi (fun pre (level, n) -> (pre, size_of n, level)) items)
+  in
+  arr
+
+type path = int list
+
+let as_element what = function
+  | Element e -> e
+  | Text _ | Comment _ | Pi _ -> invalid_arg (what ^ ": path crosses a non-element")
+
+let rec node_at_node n = function
+  | [] -> n
+  | i :: rest ->
+    let e = as_element "Dom.node_at" n in
+    (match List.nth_opt e.children i with
+    | None -> raise Not_found
+    | Some c -> node_at_node c rest)
+
+let node_at d path = node_at_node (Element d.root) path
+
+let list_insert l ~at xs =
+  if at < 0 || at > List.length l then invalid_arg "Dom: insert index";
+  let rec go i = function
+    | rest when i = at -> xs @ rest
+    | [] -> invalid_arg "Dom: insert index"
+    | h :: t -> h :: go (i + 1) t
+  in
+  go 0 l
+
+let rec map_at n path f =
+  match path with
+  | [] -> f n
+  | i :: rest ->
+    let e = as_element "Dom.map_at" n in
+    if i < 0 || i >= List.length e.children then raise Not_found;
+    let children = List.mapi (fun j c -> if j = i then map_at c rest f else c) e.children in
+    Element { e with children }
+
+let with_root _d n =
+  match n with
+  | Element root -> { root }
+  | Text _ | Comment _ | Pi _ -> invalid_arg "Dom: root must be an element"
+
+let insert_children d path ~at nodes =
+  let edit n =
+    let e = as_element "Dom.insert_children" n in
+    Element { e with children = list_insert e.children ~at nodes }
+  in
+  with_root d (map_at (Element d.root) path edit)
+
+let remove_at d path =
+  match List.rev path with
+  | [] -> invalid_arg "Dom.remove_at: cannot remove the root"
+  | last :: rev_parent ->
+    let parent_path = List.rev rev_parent in
+    let edit n =
+      let e = as_element "Dom.remove_at" n in
+      if last < 0 || last >= List.length e.children then raise Not_found;
+      Element { e with children = List.filteri (fun j _ -> j <> last) e.children }
+    in
+    with_root d (map_at (Element d.root) parent_path edit)
+
+let replace_at d path n' =
+  match path with
+  | [] -> with_root d n'
+  | _ :: _ -> with_root d (map_at (Element d.root) path (fun _ -> n'))
+
+let rec normalize_node = function
+  | Element e ->
+    let children =
+      List.fold_right
+        (fun c acc ->
+          match normalize_node c, acc with
+          | Text "", _ -> acc
+          | Text a, Text b :: rest -> Text (a ^ b) :: rest
+          | c', _ -> c' :: acc)
+        e.children []
+    in
+    Element { e with children }
+  | (Text _ | Comment _ | Pi _) as n -> n
+
+let normalize d =
+  match normalize_node (Element d.root) with
+  | Element root -> { root }
+  | Text _ | Comment _ | Pi _ -> assert false
+
+let sort_attrs attrs =
+  List.sort (fun (a, _) (b, _) -> Qname.compare a b) attrs
+
+let rec equal_node a b =
+  match a, b with
+  | Element x, Element y ->
+    Qname.equal x.name y.name
+    && List.equal
+         (fun (q1, v1) (q2, v2) -> Qname.equal q1 q2 && String.equal v1 v2)
+         (sort_attrs x.attrs) (sort_attrs y.attrs)
+    && List.equal equal_node x.children y.children
+  | Text x, Text y -> String.equal x y
+  | Comment x, Comment y -> String.equal x y
+  | Pi x, Pi y -> String.equal x.target y.target && String.equal x.data y.data
+  | (Element _ | Text _ | Comment _ | Pi _), _ -> false
+
+let equal a b = equal_node (Element a.root) (Element b.root)
+
+let rec pp_node ppf = function
+  | Element e ->
+    Format.fprintf ppf "@[<hv 2><%a%a>" Qname.pp e.name
+      (Format.pp_print_list (fun ppf (q, v) ->
+           Format.fprintf ppf "@ %a=%S" Qname.pp q v))
+      e.attrs;
+    List.iter (fun c -> Format.fprintf ppf "@,%a" pp_node c) e.children;
+    Format.fprintf ppf "@]</%a>" Qname.pp e.name
+  | Text s -> Format.fprintf ppf "%S" s
+  | Comment s -> Format.fprintf ppf "<!--%s-->" s
+  | Pi p -> Format.fprintf ppf "<?%s %s?>" p.target p.data
+
+let pp ppf d = pp_node ppf (Element d.root)

@@ -1,0 +1,87 @@
+(** An immutable reference tree for XML documents.
+
+    The storage schemas are the system under test; this DOM is the
+    independent oracle the test suite compares them against: shredding a DOM
+    and serialising it back must be the identity, XPath axes evaluated on
+    storage must match naive tree traversal here, and XUpdate applied to
+    storage must match the structural edits of {!insert_children} /
+    {!remove_at} applied here. *)
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { name : Qname.t; attrs : (Qname.t * string) list; children : node list }
+
+type t = { root : element }
+(** A well-formed document: exactly one root element. *)
+
+val element : ?attrs:(Qname.t * string) list -> ?children:node list -> string -> node
+(** Convenience constructor; the string is parsed as a {!Qname}. *)
+
+val text : string -> node
+
+val doc : element -> t
+
+(** {1 Measures} *)
+
+val node_count : t -> int
+(** Number of tree nodes (elements + texts + comments + PIs; the document
+    node itself and attributes are not counted — they live in side tables). *)
+
+val subtree_size : node -> int
+(** [size] in the paper's sense: number of {e descendants} of the node, i.e.
+    nodes in its subtree excluding itself. *)
+
+val depth : t -> int
+(** Maximum level; the root element has level 0. *)
+
+(** {1 Traversal} *)
+
+val iter_pre_order : (level:int -> node -> unit) -> t -> unit
+(** Visit every tree node in document (pre) order with its level. *)
+
+val nodes_pre_order : t -> (int * node) list
+(** [(level, node)] list in document order — the pre/size/level plane's node
+    sequence. *)
+
+val pre_size_level : t -> (int * int * int) array
+(** The (pre, size, level) encoding of the document, computed by traversal.
+    Ground truth for the shredder tests; [post = pre + size - level]. *)
+
+(** {1 Structural edits (the XUpdate oracle)} *)
+
+type path = int list
+(** Child-index path from the root element; [[]] is the root element itself,
+    [[2; 0]] is the first child of the root's third child. Indices count all
+    node kinds. *)
+
+val node_at : t -> path -> node
+(** Raises [Not_found] on a dangling path. *)
+
+val insert_children : t -> path -> at:int -> node list -> t
+(** Insert nodes among the children of the element at [path], before the
+    child currently at index [at] ([at = length children] appends). *)
+
+val remove_at : t -> path -> t
+(** Remove the node at [path] (and its subtree). Removing the root is
+    [Invalid_argument]. *)
+
+val replace_at : t -> path -> node -> t
+
+val normalize : t -> t
+(** Canonical text form: adjacent text children are merged and empty text
+    nodes dropped, recursively. Serialising cannot distinguish ["ab"] from
+    adjacent texts ["a"],["b"], so round-trip laws are stated on normalised
+    documents. *)
+
+(** {1 Equality} *)
+
+val equal_node : node -> node -> bool
+(** Structural equality; attribute lists compare order-insensitively. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+type t = { prefix : string; local : string }
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let valid_part s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+let make ?(prefix = "") local =
+  if local = "" then invalid_arg "Qname.make: empty local name";
+  if not (valid_part local) then
+    invalid_arg (Printf.sprintf "Qname.make: invalid name %S" local);
+  if prefix <> "" && not (valid_part prefix) then
+    invalid_arg (Printf.sprintf "Qname.make: invalid prefix %S" prefix);
+  { prefix; local }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> make s
+  | Some i ->
+    let prefix = String.sub s 0 i in
+    let local = String.sub s (i + 1) (String.length s - i - 1) in
+    if prefix = "" || String.contains local ':' then
+      invalid_arg (Printf.sprintf "Qname.of_string: malformed %S" s);
+    make ~prefix local
+
+let to_string q = if q.prefix = "" then q.local else q.prefix ^ ":" ^ q.local
+
+let equal a b = String.equal a.prefix b.prefix && String.equal a.local b.local
+
+let compare a b =
+  match String.compare a.prefix b.prefix with
+  | 0 -> String.compare a.local b.local
+  | c -> c
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)

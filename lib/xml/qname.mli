@@ -1,0 +1,24 @@
+(** Qualified names: an optional prefix plus a local name.
+
+    The storage schema interns qnames in the [qn] dictionary table; this
+    module only defines the value and its textual form. Namespace URI
+    resolution is out of scope (as in the paper, which stores (ns, loc)
+    pairs verbatim). *)
+
+type t = { prefix : string; local : string }
+
+val make : ?prefix:string -> string -> t
+(** [make "item"], [make ~prefix:"xupdate" "remove"]. The local name must be
+    non-empty. *)
+
+val of_string : string -> t
+(** Parse ["p:local"] or ["local"]. Raises [Invalid_argument] on malformed
+    input (empty parts, more than one colon). *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

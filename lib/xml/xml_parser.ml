@@ -1,0 +1,309 @@
+exception Parse_error of { line : int; col : int; msg : string }
+
+type state = { src : string; mutable pos : int; strip_ws : bool }
+
+let position st =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to st.pos - 1 do
+    if st.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st fmt =
+  Printf.ksprintf
+    (fun msg ->
+      let line, col = position st in
+      raise (Parse_error { line; col; msg }))
+    fmt
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st "expected %S" s
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let skip_ws st =
+  while (not (at_end st)) && is_ws (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (at_end st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_until st stop =
+  match
+    let rec find i =
+      if i + String.length stop > String.length st.src then None
+      else if String.sub st.src i (String.length stop) = stop then Some i
+      else find (i + 1)
+    in
+    find st.pos
+  with
+  | None -> fail st "unterminated construct, expected %S" stop
+  | Some i ->
+    let s = String.sub st.src st.pos (i - st.pos) in
+    st.pos <- i + String.length stop;
+    s
+
+let decode_entity st =
+  (* Called with pos on '&'. *)
+  advance st;
+  let body =
+    let start = st.pos in
+    while (not (at_end st)) && peek st <> ';' do
+      advance st
+    done;
+    if at_end st then fail st "unterminated entity reference";
+    let s = String.sub st.src start (st.pos - start) in
+    advance st;
+    s
+  in
+  match body with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with Failure _ -> fail st "bad character reference &%s;" body
+      in
+      if code < 0 || code > 0x10FFFF then
+        fail st "character reference out of range &%s;" body;
+      (* UTF-8 encode. *)
+      let b = Buffer.create 4 in
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end;
+      Buffer.contents b
+    end
+    else fail st "unknown entity &%s;" body
+
+let read_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted attribute value";
+  advance st;
+  let b = Buffer.create 16 in
+  let rec go () =
+    if at_end st then fail st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      Buffer.add_string b (decode_entity st);
+      go ()
+    end
+    else if peek st = '<' then fail st "'<' in attribute value"
+    else begin
+      Buffer.add_char b (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let read_attrs st =
+  let rec go acc =
+    skip_ws st;
+    if peek st = '>' || peek st = '/' || peek st = '?' then List.rev acc
+    else begin
+      let name = read_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let value = read_attr_value st in
+      let q =
+        try Qname.of_string name
+        with Invalid_argument m -> fail st "%s" m
+      in
+      if List.exists (fun (q', _) -> Qname.equal q q') acc then
+        fail st "duplicate attribute %s" name;
+      go ((q, value) :: acc)
+    end
+  in
+  go []
+
+let ws_only s = String.for_all is_ws s
+
+let rec read_content st name acc =
+  (* Children of an open element [name]; consumes the end tag. *)
+  if at_end st then fail st "unterminated element <%s>" (Qname.to_string name)
+  else if looking_at st "</" then begin
+    st.pos <- st.pos + 2;
+    let n = read_name st in
+    skip_ws st;
+    expect st ">";
+    if not (Qname.equal (Qname.of_string n) name) then
+      fail st "mismatched end tag </%s> for <%s>" n (Qname.to_string name);
+    List.rev acc
+  end
+  else
+    let node = read_node st in
+    let acc =
+      match node with
+      | Some (Dom.Text t) when st.strip_ws && ws_only t -> acc
+      | Some n -> n :: acc
+      | None -> acc
+    in
+    read_content st name acc
+
+and read_node st : Dom.node option =
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    Some (Dom.Comment (read_until st "-->"))
+  end
+  else if looking_at st "<![CDATA[" then begin
+    st.pos <- st.pos + 9;
+    Some (Dom.Text (read_until st "]]>"))
+  end
+  else if looking_at st "<!" then begin
+    (* DOCTYPE or other declaration: skip to matching '>'. No internal-subset
+       bracket nesting beyond one level of [...]. *)
+    let depth = ref 0 in
+    while
+      (not (at_end st))
+      && not (peek st = '>' && !depth = 0)
+    do
+      (match peek st with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | _ -> ());
+      advance st
+    done;
+    if at_end st then fail st "unterminated <! declaration";
+    advance st;
+    None
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    let target = read_name st in
+    let data = String.trim (read_until st "?>") in
+    if String.lowercase_ascii target = "xml" then None
+    else Some (Dom.Pi { target; data })
+  end
+  else if peek st = '<' then begin
+    advance st;
+    let name =
+      try Qname.of_string (read_name st)
+      with Invalid_argument m -> fail st "%s" m
+    in
+    let attrs = read_attrs st in
+    skip_ws st;
+    if looking_at st "/>" then begin
+      st.pos <- st.pos + 2;
+      Some (Dom.Element { name; attrs; children = [] })
+    end
+    else begin
+      expect st ">";
+      let children = read_content st name [] in
+      Some (Dom.Element { name; attrs; children })
+    end
+  end
+  else begin
+    let b = Buffer.create 32 in
+    while (not (at_end st)) && peek st <> '<' do
+      if peek st = '&' then Buffer.add_string b (decode_entity st)
+      else if peek st = ']' && peek2 st = ']' && looking_at st "]]>" then
+        fail st "']]>' in character data"
+      else begin
+        Buffer.add_char b (peek st);
+        advance st
+      end
+    done;
+    Some (Dom.Text (Buffer.contents b))
+  end
+
+let parse_fragment ?(strip_ws = false) src =
+  let st = { src; pos = 0; strip_ws } in
+  let rec go acc =
+    if at_end st then List.rev acc
+    else
+      match read_node st with
+      | Some (Dom.Text t) when strip_ws && ws_only t -> go acc
+      | Some n -> go (n :: acc)
+      | None -> go acc
+  in
+  go []
+
+let parse ?(strip_ws = false) src =
+  let st = { src; pos = 0; strip_ws } in
+  let nodes = parse_fragment ~strip_ws src in
+  let elements =
+    List.filter_map (function Dom.Element e -> Some e | Dom.Text t when ws_only t -> None
+      | Dom.Text _ -> fail st "character data outside the root element"
+      | Dom.Comment _ | Dom.Pi _ -> None)
+      nodes
+  in
+  match elements with
+  | [ root ] -> Dom.doc root
+  | [] -> fail st "no root element"
+  | _ :: _ :: _ -> fail st "multiple root elements"
+
+let escape_text s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | _ -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_attr s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | _ -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

@@ -1,0 +1,25 @@
+(** A self-contained XML parser (well-formed subset).
+
+    Supports elements, attributes (single- or double-quoted), character data
+    with the five predefined entities and numeric character references,
+    comments, processing instructions, CDATA sections, an optional XML
+    declaration and a skipped DOCTYPE. Namespace prefixes are kept verbatim
+    as part of the {!Qname.t}. DTD internal subsets are not interpreted. *)
+
+exception Parse_error of { line : int; col : int; msg : string }
+
+val parse : ?strip_ws:bool -> string -> Dom.t
+(** Parse a complete document. [strip_ws] (default [false]) drops
+    whitespace-only text nodes, which is how benchmark documents are
+    shredded. Raises {!Parse_error}. *)
+
+val parse_fragment : ?strip_ws:bool -> string -> Dom.node list
+(** Parse a sequence of nodes without the single-root requirement — the
+    content form XUpdate's [<xupdate:element>] carries. *)
+
+val escape_text : string -> string
+(** Escape [&<>] for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, left angle bracket and double quote for a double-quoted
+    attribute value. *)

@@ -1,0 +1,66 @@
+let add_attrs b attrs =
+  List.iter
+    (fun (q, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (Qname.to_string q);
+      Buffer.add_string b "=\"";
+      Buffer.add_string b (Xml_parser.escape_attr v);
+      Buffer.add_char b '"')
+    attrs
+
+let rec add_node ~indent ~level b n =
+  let pad () =
+    if indent then begin
+      if Buffer.length b > 0 then Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * level) ' ')
+    end
+  in
+  match n with
+  | Dom.Text s ->
+    pad ();
+    Buffer.add_string b (Xml_parser.escape_text s)
+  | Dom.Comment s ->
+    pad ();
+    Buffer.add_string b "<!--";
+    Buffer.add_string b s;
+    Buffer.add_string b "-->"
+  | Dom.Pi { target; data } ->
+    pad ();
+    Buffer.add_string b "<?";
+    Buffer.add_string b target;
+    if data <> "" then begin
+      Buffer.add_char b ' ';
+      Buffer.add_string b data
+    end;
+    Buffer.add_string b "?>"
+  | Dom.Element e ->
+    pad ();
+    Buffer.add_char b '<';
+    Buffer.add_string b (Qname.to_string e.name);
+    add_attrs b e.attrs;
+    if e.children = [] then Buffer.add_string b "/>"
+    else begin
+      Buffer.add_char b '>';
+      List.iter (add_node ~indent ~level:(level + 1) b) e.children;
+      if indent then begin
+        Buffer.add_char b '\n';
+        Buffer.add_string b (String.make (2 * level) ' ')
+      end;
+      Buffer.add_string b "</";
+      Buffer.add_string b (Qname.to_string e.name);
+      Buffer.add_char b '>'
+    end
+
+let node_to_string ?(indent = false) n =
+  let b = Buffer.create 256 in
+  add_node ~indent ~level:0 b n;
+  Buffer.contents b
+
+let to_string ?(indent = false) ?(decl = false) d =
+  let b = Buffer.create 1024 in
+  if decl then begin
+    Buffer.add_string b "<?xml version=\"1.0\"?>";
+    if indent then Buffer.add_char b '\n'
+  end;
+  add_node ~indent ~level:0 b (Dom.Element d.Dom.root);
+  Buffer.contents b

@@ -1,0 +1,10 @@
+(** XML serialisation of the reference tree. *)
+
+val node_to_string : ?indent:bool -> Dom.node -> string
+(** Serialise one node. [indent] (default [false]) pretty-prints with
+    two-space indentation (inserting whitespace, so it is not round-trip
+    safe for mixed content). *)
+
+val to_string : ?indent:bool -> ?decl:bool -> Dom.t -> string
+(** Serialise a document. [decl] (default [false]) emits the
+    [<?xml version="1.0"?>] declaration. *)

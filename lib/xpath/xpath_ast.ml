@@ -1,0 +1,106 @@
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+  | Attribute
+
+type node_test =
+  | Name of Xml.Qname.t
+  | Wildcard
+  | Kind_node
+  | Kind_text
+  | Kind_comment
+  | Kind_pi of string option
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type path = { absolute : bool; steps : step list }
+
+and step = { axis : axis; test : node_test; preds : pred list }
+
+and pred =
+  | Pos of int
+  | Last
+  | Cmp of value * cmpop * value
+  | Exists of path
+  | Contains of value * value
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and value =
+  | Lit_str of string
+  | Lit_num of float
+  | Ctx_string
+  | Path_string of path
+  | Count of path
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Preceding -> "preceding"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Attribute -> "attribute"
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let test_name = function
+  | Name q -> Xml.Qname.to_string q
+  | Wildcard -> "*"
+  | Kind_node -> "node()"
+  | Kind_text -> "text()"
+  | Kind_comment -> "comment()"
+  | Kind_pi None -> "processing-instruction()"
+  | Kind_pi (Some t) -> Printf.sprintf "processing-instruction('%s')" t
+
+let rec pp_path ppf p =
+  if p.absolute then Format.pp_print_string ppf "/";
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "/")
+    pp_step ppf p.steps
+
+and pp_step ppf s =
+  Format.fprintf ppf "%s::%s" (axis_name s.axis) (test_name s.test);
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_pred p) s.preds
+
+and pp_pred ppf = function
+  | Pos n -> Format.pp_print_int ppf n
+  | Last -> Format.pp_print_string ppf "last()"
+  | Cmp (a, op, b) -> Format.fprintf ppf "%a %s %a" pp_value a (cmp_name op) pp_value b
+  | Exists p -> pp_path ppf p
+  | Contains (a, b) -> Format.fprintf ppf "contains(%a, %a)" pp_value a pp_value b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not p -> Format.fprintf ppf "not(%a)" pp_pred p
+
+and pp_value ppf = function
+  | Lit_str s -> Format.fprintf ppf "'%s'" s
+  | Lit_num f ->
+    if Float.is_integer f then Format.fprintf ppf "%d" (int_of_float f)
+    else Format.fprintf ppf "%g" f
+  | Ctx_string -> Format.pp_print_string ppf "."
+  | Path_string p -> pp_path ppf p
+  | Count p -> Format.fprintf ppf "count(%a)" pp_path p
+
+let to_string p = Format.asprintf "%a" pp_path p

@@ -1,0 +1,57 @@
+(** Abstract syntax of the XPath subset.
+
+    This covers what XUpdate select expressions and the XMark-style queries
+    need: all major axes, name/kind tests, and predicates built from
+    positions, attribute/string/number comparisons, [contains], existence
+    tests and boolean connectives. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+  | Following_sibling
+  | Preceding_sibling
+  | Attribute
+
+type node_test =
+  | Name of Xml.Qname.t  (** element (or attribute) name test *)
+  | Wildcard  (** [*] *)
+  | Kind_node  (** [node()] *)
+  | Kind_text  (** [text()] *)
+  | Kind_comment  (** [comment()] *)
+  | Kind_pi of string option  (** [processing-instruction()], optional target *)
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type path = { absolute : bool; steps : step list }
+
+and step = { axis : axis; test : node_test; preds : pred list }
+
+and pred =
+  | Pos of int  (** [\[3\]] — 1-based position among the step's results *)
+  | Last  (** [\[last()\]] *)
+  | Cmp of value * cmpop * value
+  | Exists of path  (** [\[child::x\]], [\[@id\]] *)
+  | Contains of value * value
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+and value =
+  | Lit_str of string
+  | Lit_num of float
+  | Ctx_string  (** [.] — string value of the context node *)
+  | Path_string of path  (** string value of the first node of a relative path *)
+  | Count of path  (** [count(path)] *)
+
+val axis_name : axis -> string
+
+val pp_path : Format.formatter -> path -> unit
+
+val to_string : path -> string

@@ -1,0 +1,403 @@
+open Xpath_ast
+
+exception Syntax_error of { pos : int; msg : string }
+
+type token =
+  | Slash
+  | Dslash
+  | Lbrack
+  | Rbrack
+  | Lparen
+  | Rparen
+  | At
+  | Dot
+  | Dotdot
+  | Comma
+  | Star
+  | Tname of string  (* name, possibly with ':' inside (qname or axis) *)
+  | Taxis of string  (* name followed by '::' *)
+  | Tstr of string
+  | Tnum of float
+  | Top of cmpop
+  | Eof
+
+let fail pos fmt = Printf.ksprintf (fun msg -> raise (Syntax_error { pos; msg })) fmt
+
+(* ------------------------------------------------------------------ lexer *)
+
+type lexer = { src : string; mutable pos : int; mutable tok : token; mutable tok_pos : int }
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec next_token lx =
+  let n = String.length lx.src in
+  while lx.pos < n && is_ws lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  lx.tok_pos <- lx.pos;
+  if lx.pos >= n then lx.tok <- Eof
+  else begin
+    let c = lx.src.[lx.pos] in
+    let peek k = if lx.pos + k < n then lx.src.[lx.pos + k] else '\000' in
+    match c with
+    | '/' ->
+      if peek 1 = '/' then begin
+        lx.pos <- lx.pos + 2;
+        lx.tok <- Dslash
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        lx.tok <- Slash
+      end
+    | '[' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Lbrack
+    | ']' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Rbrack
+    | '(' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Lparen
+    | ')' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Rparen
+    | '@' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- At
+    | ',' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Comma
+    | '*' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Star
+    | '.' ->
+      if peek 1 = '.' then begin
+        lx.pos <- lx.pos + 2;
+        lx.tok <- Dotdot
+      end
+      else if is_digit (peek 1) then lex_number lx
+      else begin
+        lx.pos <- lx.pos + 1;
+        lx.tok <- Dot
+      end
+    | '\'' | '"' ->
+      let quote = c in
+      let start = lx.pos + 1 in
+      let stop = ref start in
+      while !stop < n && lx.src.[!stop] <> quote do
+        incr stop
+      done;
+      if !stop >= n then fail lx.pos "unterminated string literal";
+      lx.tok <- Tstr (String.sub lx.src start (!stop - start));
+      lx.pos <- !stop + 1
+    | '=' ->
+      lx.pos <- lx.pos + 1;
+      lx.tok <- Top Eq
+    | '!' ->
+      if peek 1 = '=' then begin
+        lx.pos <- lx.pos + 2;
+        lx.tok <- Top Neq
+      end
+      else fail lx.pos "unexpected '!'"
+    | '<' ->
+      if peek 1 = '=' then begin
+        lx.pos <- lx.pos + 2;
+        lx.tok <- Top Le
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        lx.tok <- Top Lt
+      end
+    | '>' ->
+      if peek 1 = '=' then begin
+        lx.pos <- lx.pos + 2;
+        lx.tok <- Top Ge
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        lx.tok <- Top Gt
+      end
+    | c when is_digit c -> lex_number lx
+    | c when is_name_start c ->
+      let start = lx.pos in
+      while
+        lx.pos < n
+        && (is_name_char lx.src.[lx.pos]
+           || (lx.src.[lx.pos] = ':' && lx.pos + 1 < n && lx.src.[lx.pos + 1] <> ':'
+              && is_name_start lx.src.[lx.pos + 1]))
+      do
+        lx.pos <- lx.pos + 1
+      done;
+      let name = String.sub lx.src start (lx.pos - start) in
+      if lx.pos + 1 < n && lx.src.[lx.pos] = ':' && lx.src.[lx.pos + 1] = ':' then begin
+        lx.pos <- lx.pos + 2;
+        lx.tok <- Taxis name
+      end
+      else lx.tok <- Tname name
+    | c -> fail lx.pos "unexpected character %C" c
+  end
+
+and lex_number lx =
+  let n = String.length lx.src in
+  let start = lx.pos in
+  while lx.pos < n && (is_digit lx.src.[lx.pos] || lx.src.[lx.pos] = '.') do
+    lx.pos <- lx.pos + 1
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> lx.tok <- Tnum f
+  | None -> fail start "malformed number %S" s
+
+let make_lexer src =
+  let lx = { src; pos = 0; tok = Eof; tok_pos = 0 } in
+  next_token lx;
+  lx
+
+let advance lx = next_token lx
+
+let expect lx tok what =
+  if lx.tok = tok then advance lx else fail lx.tok_pos "expected %s" what
+
+(* ----------------------------------------------------------------- parser *)
+
+let axis_of_name lx = function
+  | "child" -> Child
+  | "descendant" -> Descendant
+  | "descendant-or-self" -> Descendant_or_self
+  | "self" -> Self
+  | "parent" -> Parent
+  | "ancestor" -> Ancestor
+  | "ancestor-or-self" -> Ancestor_or_self
+  | "following" -> Following
+  | "preceding" -> Preceding
+  | "following-sibling" -> Following_sibling
+  | "preceding-sibling" -> Preceding_sibling
+  | "attribute" -> Attribute
+  | a -> fail lx.tok_pos "unknown axis %S" a
+
+let qname_of lx s =
+  try Xml.Qname.of_string s
+  with Invalid_argument m -> fail lx.tok_pos "%s" m
+
+(* A node test, given that the current token starts one. *)
+let rec parse_test lx =
+  match lx.tok with
+  | Star ->
+    advance lx;
+    Wildcard
+  | Tname ("text" | "node" | "comment" | "processing-instruction") when peek_lparen lx
+    -> (
+    let kind = (match lx.tok with Tname s -> s | _ -> assert false) in
+    advance lx;
+    expect lx Lparen "'('";
+    match kind, lx.tok with
+    | "processing-instruction", Tstr t ->
+      advance lx;
+      expect lx Rparen "')'";
+      Kind_pi (Some t)
+    | "processing-instruction", _ ->
+      expect lx Rparen "')'";
+      Kind_pi None
+    | "text", _ ->
+      expect lx Rparen "')'";
+      Kind_text
+    | "node", _ ->
+      expect lx Rparen "')'";
+      Kind_node
+    | "comment", _ ->
+      expect lx Rparen "')'";
+      Kind_comment
+    | _ -> assert false)
+  | Tname s ->
+    advance lx;
+    Name (qname_of lx s)
+  | _ -> fail lx.tok_pos "expected a node test"
+
+and peek_lparen lx =
+  (* True when the character at the current scan position is '(' — used to
+     distinguish the kind tests from element names like <text>. *)
+  let n = String.length lx.src in
+  let rec skip i = if i < n && is_ws lx.src.[i] then skip (i + 1) else i in
+  let i = skip lx.pos in
+  i < n && lx.src.[i] = '('
+
+let rec parse_path lx =
+  match lx.tok with
+  | Slash ->
+    advance lx;
+    if lx.tok = Eof then { absolute = true; steps = [] }
+    else { absolute = true; steps = parse_steps lx }
+  | Dslash ->
+    advance lx;
+    let steps = parse_steps lx in
+    { absolute = true;
+      steps = { axis = Descendant_or_self; test = Kind_node; preds = [] } :: steps }
+  | _ -> { absolute = false; steps = parse_steps lx }
+
+and parse_steps lx =
+  let step = parse_step lx in
+  match lx.tok with
+  | Slash ->
+    advance lx;
+    step :: parse_steps lx
+  | Dslash ->
+    advance lx;
+    step
+    :: { axis = Descendant_or_self; test = Kind_node; preds = [] }
+    :: parse_steps lx
+  | _ -> [ step ]
+
+and parse_step lx =
+  match lx.tok with
+  | Dot ->
+    advance lx;
+    { axis = Self; test = Kind_node; preds = parse_preds lx }
+  | Dotdot ->
+    advance lx;
+    { axis = Parent; test = Kind_node; preds = parse_preds lx }
+  | At ->
+    advance lx;
+    let test = parse_test lx in
+    { axis = Attribute; test; preds = parse_preds lx }
+  | Taxis a ->
+    let axis = axis_of_name lx a in
+    advance lx;
+    let test = parse_test lx in
+    { axis; test; preds = parse_preds lx }
+  | Star | Tname _ ->
+    let test = parse_test lx in
+    { axis = Child; test; preds = parse_preds lx }
+  | _ -> fail lx.tok_pos "expected a step"
+
+and parse_preds lx =
+  match lx.tok with
+  | Lbrack ->
+    advance lx;
+    let p = parse_or lx in
+    expect lx Rbrack "']'";
+    p :: parse_preds lx
+  | _ -> []
+
+and parse_or lx =
+  let a = parse_and lx in
+  match lx.tok with
+  | Tname "or" ->
+    advance lx;
+    let b = parse_or lx in
+    no_positional lx a;
+    no_positional lx b;
+    Or (a, b)
+  | _ -> a
+
+and parse_and lx =
+  let a = parse_unary lx in
+  match lx.tok with
+  | Tname "and" ->
+    advance lx;
+    let b = parse_and lx in
+    no_positional lx a;
+    no_positional lx b;
+    And (a, b)
+  | _ -> a
+
+(* positions only make sense as whole predicates; inside boolean operators
+   there is no position to compare against in this subset *)
+and no_positional lx = function
+  | Pos _ | Last ->
+    fail lx.tok_pos "positional predicates cannot be combined with and/or/not"
+  | Cmp _ | Exists _ | Contains _ | And _ | Or _ | Not _ -> ()
+
+and parse_unary lx =
+  match lx.tok with
+  | Tname "not" when peek_lparen lx ->
+    advance lx;
+    expect lx Lparen "'('";
+    let p = parse_or lx in
+    expect lx Rparen "')'";
+    no_positional lx p;
+    Not p
+  | Tname "contains" when peek_lparen lx ->
+    advance lx;
+    expect lx Lparen "'('";
+    let a = parse_value lx in
+    expect lx Comma "','";
+    let b = parse_value lx in
+    expect lx Rparen "')'";
+    Contains (a, b)
+  | Tname "last" when peek_lparen lx ->
+    advance lx;
+    expect lx Lparen "'('";
+    expect lx Rparen "')'";
+    Last
+  | Tnum f ->
+    advance lx;
+    (match lx.tok with
+    | Top op ->
+      advance lx;
+      Cmp (Lit_num f, op, parse_value lx)
+    | _ ->
+      if not (Float.is_integer f) || f < 1.0 then
+        fail lx.tok_pos "positional predicate must be a positive integer";
+      Pos (int_of_float f))
+  | _ -> (
+    let v = parse_value lx in
+    match lx.tok with
+    | Top op ->
+      advance lx;
+      Cmp (v, op, parse_value lx)
+    | _ -> (
+      match v with
+      | Path_string p -> Exists p
+      | Ctx_string -> fail lx.tok_pos "'.' alone is not a predicate"
+      | Lit_str _ | Lit_num _ | Count _ ->
+        fail lx.tok_pos "a literal alone is not a predicate"))
+
+and parse_value lx =
+  match lx.tok with
+  | Tstr s ->
+    advance lx;
+    Lit_str s
+  | Tnum f ->
+    advance lx;
+    Lit_num f
+  | Dot when not (peek_path_continues lx) ->
+    advance lx;
+    Ctx_string
+  | Tname "count" when peek_lparen lx ->
+    advance lx;
+    expect lx Lparen "'('";
+    let p = parse_path lx in
+    expect lx Rparen "')'";
+    Count p
+  | Tname "last" when peek_lparen lx ->
+    fail lx.tok_pos "last() is only valid as a whole predicate"
+  | At | Dot | Dotdot | Slash | Dslash | Star | Tname _ | Taxis _ ->
+    Path_string (parse_path lx)
+  | _ -> fail lx.tok_pos "expected a value"
+
+and peek_path_continues lx =
+  (* After '.', a '/' means the dot starts a relative path. *)
+  let n = String.length lx.src in
+  let rec skip i = if i < n && is_ws lx.src.[i] then skip (i + 1) else i in
+  let i = skip lx.pos in
+  i < n && lx.src.[i] = '/'
+
+let parse src =
+  let lx = make_lexer src in
+  let p = parse_path lx in
+  if lx.tok <> Eof then fail lx.tok_pos "trailing input";
+  p
+
+let parse_exn_msg src =
+  match parse src with
+  | p -> Ok p
+  | exception Syntax_error { pos; msg } ->
+    Error (Printf.sprintf "XPath syntax error at offset %d: %s" pos msg)

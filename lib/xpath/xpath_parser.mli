@@ -1,0 +1,24 @@
+(** Parser for the XPath subset of {!Xpath_ast}.
+
+    Accepted grammar (abbreviated and explicit-axis syntax):
+    {v
+    path  ::= '/'? step (('/' | '//') step)*   |  '//' step ...
+    step  ::= '.' | '..' | '@' name
+            | (axis '::')? test ('[' pred ']')*
+    test  ::= name | '*' | 'text()' | 'node()' | 'comment()'
+            | 'processing-instruction(' string? ')'
+    pred  ::= or-expression over: number (position), last(),
+              value cmp value, contains(value, value), not(p), path
+    value ::= string | number | '.' | '@' name | relative path
+            | count(path)
+    v}
+    ['a//b'] expands to ['a/descendant-or-self::node()/child::b'] as in the
+    XPath 1.0 specification. *)
+
+exception Syntax_error of { pos : int; msg : string }
+
+val parse : string -> Xpath_ast.path
+(** Raises {!Syntax_error}. *)
+
+val parse_exn_msg : string -> (Xpath_ast.path, string) result
+(** Like {!parse} but returns the error as a message. *)

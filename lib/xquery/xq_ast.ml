@@ -1,0 +1,95 @@
+type expr =
+  | Str_lit of string
+  | Num_lit of float
+  | Var of string
+  | Seq of expr list
+  | Path of expr option * Xpath.Xpath_ast.path
+  | Flwor of clause list * expr
+  | If of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Elem of Xml.Qname.t * (Xml.Qname.t * attr_seg list) list * content list
+
+and clause =
+  | For of string * string option * expr
+  | Let of string * expr
+  | Where of expr
+  | Order_by of expr * [ `Asc | `Desc ]
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+and attr_seg = Alit of string | Aexpr of expr
+
+and content = Ctext of string | Cexpr of expr
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "and"
+  | Or -> "or"
+
+let rec pp ppf = function
+  | Str_lit s -> Format.fprintf ppf "%S" s
+  | Num_lit f ->
+    if Float.is_integer f then Format.fprintf ppf "%d" (int_of_float f)
+    else Format.fprintf ppf "%g" f
+  | Var x -> Format.fprintf ppf "$%s" x
+  | Seq es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      es
+  | Path (None, p) -> Xpath.Xpath_ast.pp_path ppf p
+  | Path (Some e, p) -> Format.fprintf ppf "%a/%a" pp e Xpath.Xpath_ast.pp_path p
+  | Flwor (clauses, ret) ->
+    Format.fprintf ppf "@[<v>%a@ return %a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_clause)
+      clauses pp ret
+  | If (c, t, e) -> Format.fprintf ppf "if (%a) then %a else %a" pp c pp t pp e
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Neg e -> Format.fprintf ppf "-%a" pp e
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+  | Elem (name, attrs, content) ->
+    Format.fprintf ppf "<%a" Xml.Qname.pp name;
+    List.iter
+      (fun (q, segs) ->
+        Format.fprintf ppf " %a=\"" Xml.Qname.pp q;
+        List.iter
+          (function
+            | Alit s -> Format.pp_print_string ppf s
+            | Aexpr e -> Format.fprintf ppf "{%a}" pp e)
+          segs;
+        Format.fprintf ppf "\"")
+      attrs;
+    Format.fprintf ppf ">";
+    List.iter
+      (function
+        | Ctext s -> Format.pp_print_string ppf s
+        | Cexpr e -> Format.fprintf ppf "{%a}" pp e)
+      content;
+    Format.fprintf ppf "</%a>" Xml.Qname.pp name
+
+and pp_clause ppf = function
+  | For (x, None, e) -> Format.fprintf ppf "for $%s in %a" x pp e
+  | For (x, Some i, e) -> Format.fprintf ppf "for $%s at $%s in %a" x i pp e
+  | Let (x, e) -> Format.fprintf ppf "let $%s := %a" x pp e
+  | Where e -> Format.fprintf ppf "where %a" pp e
+  | Order_by (e, `Asc) -> Format.fprintf ppf "order by %a" pp e
+  | Order_by (e, `Desc) -> Format.fprintf ppf "order by %a descending" pp e
+
+let to_string e = Format.asprintf "%a" pp e

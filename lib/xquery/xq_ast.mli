@@ -1,0 +1,46 @@
+(** Abstract syntax of the XQuery subset.
+
+    Covers the FLWOR core the XMark queries are written in: [for]/[let]
+    bindings, [where], a single [order by] key, [return]; XPath paths
+    (embedded {!Xpath.Xpath_ast.path}s, optionally rooted at a variable);
+    arithmetic, comparisons and boolean logic with existential sequence
+    semantics; [if/then/else]; direct element constructors with computed
+    content; and a standard function library (count, sum, avg, min, max,
+    contains, concat, distinct-values, ...). *)
+
+type expr =
+  | Str_lit of string
+  | Num_lit of float
+  | Var of string  (** [$x] *)
+  | Seq of expr list  (** [e1, e2, ...] *)
+  | Path of expr option * Xpath.Xpath_ast.path
+      (** [Some start] roots the path at the value of [start] (e.g. [$x/a]);
+          [None] evaluates an absolute path from the document, or a relative
+          one from the current context. *)
+  | Flwor of clause list * expr  (** clauses, return *)
+  | If of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+  | Elem of Xml.Qname.t * (Xml.Qname.t * attr_seg list) list * content list
+      (** direct element constructor *)
+
+and clause =
+  | For of string * string option * expr
+      (** [for $x in e] / [for $x at $i in e] *)
+  | Let of string * expr  (** [let $x := e] *)
+  | Where of expr
+  | Order_by of expr * [ `Asc | `Desc ]
+
+and binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge  (** general comparisons (existential) *)
+  | And | Or
+
+and attr_seg = Alit of string | Aexpr of expr
+
+and content = Ctext of string | Cexpr of expr
+
+val pp : Format.formatter -> expr -> unit
+
+val to_string : expr -> string

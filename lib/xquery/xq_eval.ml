@@ -1,0 +1,386 @@
+open Xq_ast
+
+module Make (S : Core.Storage_intf.S) = struct
+  module E = Core.Engine.Make (S)
+  module Ser = Core.Node_serialize.Make (S)
+
+  type item =
+    | Node of int
+    | Attr of { owner : int; qn : Xml.Qname.t; value : string }
+    | Tree of Xml.Dom.node
+    | Str of string
+    | Num of float
+    | Bool of bool
+
+  type value = item list
+
+  exception Error of string
+
+  let err fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+  let num_to_string f =
+    if Float.is_nan f then "NaN"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      string_of_int (int_of_float f)
+    else Printf.sprintf "%g" f
+
+  let rec tree_string (n : Xml.Dom.node) =
+    match n with
+    | Xml.Dom.Text s | Xml.Dom.Comment s -> s
+    | Xml.Dom.Pi p -> p.data
+    | Xml.Dom.Element e -> String.concat "" (List.map tree_string e.children)
+
+  let item_string t = function
+    | Node pre -> E.string_value t pre
+    | Attr a -> a.value
+    | Tree n -> tree_string n
+    | Str s -> s
+    | Num f -> num_to_string f
+    | Bool b -> if b then "true" else "false"
+
+  let item_num t it =
+    match it with
+    | Num f -> Some f
+    | Bool b -> Some (if b then 1.0 else 0.0)
+    | Node _ | Attr _ | Tree _ | Str _ ->
+      float_of_string_opt (String.trim (item_string t it))
+
+  (* effective boolean value, XPath 1.0 flavoured; a sequence of atomics has
+     no EBV in strict XQuery — we are permissive: non-empty is true *)
+  let ebv _t = function
+    | [] -> false
+    | [ Bool b ] -> b
+    | [ Num f ] -> f <> 0.0 && not (Float.is_nan f)
+    | [ Str s ] -> String.length s > 0
+    | _ :: _ -> true
+
+  (* ----------------------------------------------------------- evaluation *)
+
+  let lookup env x =
+    match List.assoc_opt x env with
+    | Some v -> v
+    | None -> err "unbound variable $%s" x
+
+  let node_context what = function
+    | Node pre -> pre
+    | Attr _ -> err "%s: attribute has no children" what
+    | Tree _ -> err "%s: constructed nodes are transient; bind store nodes" what
+    | Str _ | Num _ | Bool _ -> err "%s: path applied to an atomic value" what
+
+  let rec eval t env ctx (e : expr) : value =
+    match e with
+    | Str_lit s -> [ Str s ]
+    | Num_lit f -> [ Num f ]
+    | Var x -> lookup env x
+    | Seq es -> List.concat_map (eval t env ctx) es
+    | Path (start, p) ->
+      let contexts =
+        match start with
+        | None -> ctx
+        | Some e -> List.map (node_context "path") (eval t env ctx e)
+      in
+      List.map
+        (function
+          | E.Node pre -> Node pre
+          | E.Attribute { owner; qn; value } -> Attr { owner; qn; value })
+        (E.eval_items t ~context:contexts p)
+    | If (c, th, el) ->
+      if ebv t (eval t env ctx c) then eval t env ctx th else eval t env ctx el
+    | Neg e -> (
+      match eval t env ctx e with
+      | [ it ] -> (
+        match item_num t it with
+        | Some f -> [ Num (-.f) ]
+        | None -> err "unary minus on a non-numeric value")
+      | [] -> []
+      | _ -> err "unary minus on a sequence")
+    | Binop (And, a, b) ->
+      [ Bool (ebv t (eval t env ctx a) && ebv t (eval t env ctx b)) ]
+    | Binop (Or, a, b) ->
+      [ Bool (ebv t (eval t env ctx a) || ebv t (eval t env ctx b)) ]
+    | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+      let x = atom_num t "arithmetic" (eval t env ctx a) in
+      let y = atom_num t "arithmetic" (eval t env ctx b) in
+      (match x, y with
+      | Some x, Some y ->
+        let r =
+          match op with
+          | Add -> x +. y
+          | Sub -> x -. y
+          | Mul -> x *. y
+          | Div -> x /. y
+          | Mod -> Float.rem x y
+          | _ -> assert false
+        in
+        [ Num r ]
+      | None, _ | _, None -> [] (* empty sequence propagates *))
+    | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+      let va = eval t env ctx a and vb = eval t env ctx b in
+      [ Bool (general_cmp t op va vb) ]
+    | Flwor (clauses, ret) -> eval_flwor t env ctx clauses ret
+    | Call (f, args) -> eval_call t env ctx f args
+    | Elem (name, attrs, content) -> [ Tree (construct t env ctx name attrs content) ]
+
+  and atom_num t what v =
+    match v with
+    | [] -> None
+    | [ it ] -> (
+      match item_num t it with
+      | Some f -> Some f
+      | None -> err "%s: non-numeric operand %S" what (item_string t it))
+    | _ -> err "%s: sequence operand" what
+
+  (* existential general comparison; numeric when both atoms are numeric *)
+  and general_cmp t op va vb =
+    let cmp_pair x y =
+      match item_num t x, item_num t y with
+      | Some a, Some b -> (
+        match op with
+        | Eq -> a = b
+        | Neq -> a <> b
+        | Lt -> a < b
+        | Le -> a <= b
+        | Gt -> a > b
+        | Ge -> a >= b
+        | _ -> assert false)
+      | _ ->
+        let a = item_string t x and b = item_string t y in
+        (match op with
+        | Eq -> String.equal a b
+        | Neq -> not (String.equal a b)
+        | Lt -> String.compare a b < 0
+        | Le -> String.compare a b <= 0
+        | Gt -> String.compare a b > 0
+        | Ge -> String.compare a b >= 0
+        | _ -> assert false)
+    in
+    List.exists (fun x -> List.exists (fun y -> cmp_pair x y) vb) va
+
+  and eval_flwor t env ctx clauses ret =
+    (* expand clauses into a list of bound environments (tuples) *)
+    let tuples = ref [ env ] in
+    List.iter
+      (fun clause ->
+        match clause with
+        | For (x, at, e) ->
+          tuples :=
+            List.concat_map
+              (fun env ->
+                List.mapi
+                  (fun i it ->
+                    let env = (x, [ it ]) :: env in
+                    match at with
+                    | None -> env
+                    | Some pos_var -> (pos_var, [ Num (float_of_int (i + 1)) ]) :: env)
+                  (eval t env ctx e))
+              !tuples
+        | Let (x, e) ->
+          tuples := List.map (fun env -> (x, eval t env ctx e) :: env) !tuples
+        | Where e -> tuples := List.filter (fun env -> ebv t (eval t env ctx e)) !tuples
+        | Order_by (e, dir) ->
+          let keyed =
+            List.map
+              (fun env ->
+                let v = eval t env ctx e in
+                let s = String.concat " " (List.map (item_string t) v) in
+                let n =
+                  match v with [ it ] -> item_num t it | _ -> None
+                in
+                (env, s, n))
+              !tuples
+          in
+          let numeric = List.for_all (fun (_, _, n) -> n <> None) keyed && keyed <> [] in
+          let cmp (_, s1, n1) (_, s2, n2) =
+            let c =
+              if numeric then compare (Option.get n1) (Option.get n2)
+              else String.compare s1 s2
+            in
+            match dir with `Asc -> c | `Desc -> -c
+          in
+          tuples := List.map (fun (env, _, _) -> env) (List.stable_sort cmp keyed))
+      clauses;
+    List.concat_map (fun env -> eval t env ctx ret) !tuples
+
+  and eval_call t env ctx f args =
+    let one what =
+      match args with
+      | [ a ] -> eval t env ctx a
+      | _ -> err "%s expects one argument" what
+    in
+    match f with
+    | "count" -> [ Num (float_of_int (List.length (one "count"))) ]
+    | "empty" -> [ Bool (one "empty" = []) ]
+    | "exists" -> [ Bool (one "exists" <> []) ]
+    | "not" -> [ Bool (not (ebv t (one "not"))) ]
+    | "string" -> (
+      match one "string" with
+      | [] -> [ Str "" ]
+      | [ it ] -> [ Str (item_string t it) ]
+      | _ -> err "string: sequence argument")
+    | "number" -> (
+      match one "number" with
+      | [ it ] -> (
+        match item_num t it with Some f -> [ Num f ] | None -> [ Num Float.nan ])
+      | [] -> [ Num Float.nan ]
+      | _ -> err "number: sequence argument")
+    | "name" -> (
+      match one "name" with
+      | [ Node pre ] when S.kind t pre = Core.Kind.Element ->
+        [ Str (Xml.Qname.to_string (S.qname t pre)) ]
+      | [ Attr a ] -> [ Str (Xml.Qname.to_string a.qn) ]
+      | _ -> [ Str "" ])
+    | "sum" | "avg" | "max" | "min" ->
+      let nums =
+        List.map
+          (fun it ->
+            match item_num t it with
+            | Some x -> x
+            | None -> err "%s: non-numeric item" f)
+          (one f)
+      in
+      (match nums, f with
+      | [], "sum" -> [ Num 0.0 ]
+      | [], _ -> []
+      | _, "sum" -> [ Num (List.fold_left ( +. ) 0.0 nums) ]
+      | _, "avg" ->
+        [ Num (List.fold_left ( +. ) 0.0 nums /. float_of_int (List.length nums)) ]
+      | _, "max" -> [ Num (List.fold_left Float.max neg_infinity nums) ]
+      | _, "min" -> [ Num (List.fold_left Float.min infinity nums) ]
+      | _ -> assert false)
+    | "contains" -> (
+      match args with
+      | [ a; b ] ->
+        let s = String.concat "" (List.map (item_string t) (eval t env ctx a)) in
+        let sub = String.concat "" (List.map (item_string t) (eval t env ctx b)) in
+        let ns = String.length s and nb = String.length sub in
+        let rec go i = i + nb <= ns && (String.sub s i nb = sub || go (i + 1)) in
+        [ Bool (nb = 0 || go 0) ]
+      | _ -> err "contains expects two arguments")
+    | "starts-with" -> (
+      match args with
+      | [ a; b ] ->
+        let s = String.concat "" (List.map (item_string t) (eval t env ctx a)) in
+        let p = String.concat "" (List.map (item_string t) (eval t env ctx b)) in
+        [ Bool (String.length p <= String.length s && String.sub s 0 (String.length p) = p) ]
+      | _ -> err "starts-with expects two arguments")
+    | "concat" ->
+      [ Str
+          (String.concat ""
+             (List.map
+                (fun a -> String.concat "" (List.map (item_string t) (eval t env ctx a)))
+                args)) ]
+    | "string-join" -> (
+      match args with
+      | [ a; b ] ->
+        let parts = List.map (item_string t) (eval t env ctx a) in
+        let sep = String.concat "" (List.map (item_string t) (eval t env ctx b)) in
+        [ Str (String.concat sep parts) ]
+      | _ -> err "string-join expects two arguments")
+    | "string-length" ->
+      [ Num
+          (float_of_int
+             (String.length (String.concat "" (List.map (item_string t) (one f))))) ]
+    | "distinct-values" ->
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun it ->
+          let s = item_string t it in
+          if Hashtbl.mem seen s then None
+          else begin
+            Hashtbl.add seen s ();
+            Some (Str s)
+          end)
+        (one f)
+    | "round" -> (
+      match atom_num t "round" (one f) with
+      | Some x -> [ Num (Float.round x) ]
+      | None -> [])
+    | "floor" -> (
+      match atom_num t "floor" (one f) with Some x -> [ Num (Float.floor x) ] | None -> [])
+    | "ceiling" -> (
+      match atom_num t "ceiling" (one f) with
+      | Some x -> [ Num (Float.ceil x) ]
+      | None -> [])
+    | "zero-or-one" | "exactly-one" | "data" -> one f (* light-weight passthroughs *)
+    | _ -> err "unknown function %s()" f
+
+  (* ------------------------------------------------------- constructors *)
+
+  and construct t env ctx name attrs content =
+    let attr_value segs =
+      String.concat ""
+        (List.map
+           (function
+             | Alit s -> s
+             | Aexpr e ->
+               String.concat " " (List.map (item_string t) (eval t env ctx e)))
+           segs)
+    in
+    let attributes = ref (List.map (fun (q, segs) -> (q, attr_value segs)) attrs) in
+    let kids = ref [] in
+    let emit n = kids := n :: !kids in
+    List.iter
+      (function
+        | Ctext s -> emit (Xml.Dom.Text s)
+        | Cexpr e ->
+          (* adjacent atomic values join with single spaces; nodes are
+             deep-copied out of the store *)
+          let pending = Buffer.create 16 in
+          let flush () =
+            if Buffer.length pending > 0 then begin
+              emit (Xml.Dom.Text (Buffer.contents pending));
+              Buffer.clear pending
+            end
+          in
+          List.iter
+            (fun it ->
+              match it with
+              | Node pre ->
+                flush ();
+                emit (Ser.to_dom_node t pre)
+              | Tree n ->
+                flush ();
+                emit n
+              | Attr a -> attributes := !attributes @ [ (a.qn, a.value) ]
+              | Str _ | Num _ | Bool _ ->
+                if Buffer.length pending > 0 then Buffer.add_char pending ' ';
+                Buffer.add_string pending (item_string t it))
+            (eval t env ctx e);
+          flush ())
+      content;
+    Xml.Dom.Element { name; attrs = !attributes; children = List.rev !kids }
+
+  (* ------------------------------------------------------------- facade *)
+
+  let eval t ?context e =
+    let ctx = match context with Some c -> c | None -> [ S.root_pre t ] in
+    eval t [] ctx e
+
+  let serialize t v =
+    let b = Buffer.create 256 in
+    let pending_space = ref false in
+    List.iter
+      (fun it ->
+        match it with
+        | Node pre ->
+          Buffer.add_string b (Ser.subtree_to_string t pre);
+          pending_space := false
+        | Tree n ->
+          Buffer.add_string b (Xml.Xml_serialize.node_to_string n);
+          pending_space := false
+        | Attr a ->
+          Buffer.add_string b
+            (Printf.sprintf "%s=\"%s\"" (Xml.Qname.to_string a.qn)
+               (Xml.Xml_parser.escape_attr a.value));
+          pending_space := false
+        | Str _ | Num _ | Bool _ ->
+          if !pending_space then Buffer.add_char b ' ';
+          Buffer.add_string b (Xml.Xml_parser.escape_text (item_string t it));
+          pending_space := true)
+      v;
+    Buffer.contents b
+
+  let run t src = eval t (Xq_parser.parse src)
+
+  let run_string t src = serialize t (run t src)
+end

@@ -1,0 +1,45 @@
+(** Evaluation of the XQuery subset over a storage schema.
+
+    Instantiated over {!Core.Storage_intf.S} like the XPath engine, so the
+    same query text runs against the read-only schema, the updateable schema
+    or a transaction view.
+
+    Sequence semantics follow XQuery where the subset allows: values are
+    flat item sequences; [for] iterates, [let] binds, [where] filters by
+    effective boolean value, a single [order by] key sorts (numeric if every
+    key is numeric, else by string); general comparisons are existential;
+    arithmetic atomizes singletons. Element constructors copy store nodes
+    into fresh trees ({!Xml.Dom.node}), so query results can be serialised
+    independently of the store. *)
+
+module Make (S : Core.Storage_intf.S) : sig
+  type item =
+    | Node of int  (** a store node, by pre *)
+    | Attr of { owner : int; qn : Xml.Qname.t; value : string }
+    | Tree of Xml.Dom.node  (** a constructed node (transient) *)
+    | Str of string
+    | Num of float
+    | Bool of bool
+
+  type value = item list
+
+  exception Error of string
+  (** Dynamic errors: unbound variable, unknown function, wrong argument
+      count, a path applied to an atomic value, ... *)
+
+  val eval : S.t -> ?context:int list -> Xq_ast.expr -> value
+
+  val item_string : S.t -> item -> string
+  (** XPath string value / atomization of one item. *)
+
+  val serialize : S.t -> value -> string
+  (** Serialise a result sequence as XML text: nodes and constructed trees
+      as markup, atomics as text separated by spaces — the usual XQuery
+      serialization. *)
+
+  val run : S.t -> string -> value
+  (** Parse ({!Xq_parser.parse}) and evaluate. *)
+
+  val run_string : S.t -> string -> string
+  (** [serialize (run ...)]. *)
+end

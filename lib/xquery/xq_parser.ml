@@ -1,0 +1,586 @@
+open Xq_ast
+
+exception Syntax_error of { pos : int; msg : string }
+
+type st = { src : string; mutable pos : int }
+
+let fail st fmt =
+  Printf.ksprintf (fun msg -> raise (Syntax_error { pos = st.pos; msg })) fmt
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek_at st k =
+  if st.pos + k >= String.length st.src then '\000' else st.src.[st.pos + k]
+
+let is_ws = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let skip_ws st =
+  while (not (at_end st)) && is_ws (peek st) do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+(* a keyword = the word followed by a non-name character *)
+let looking_at_kw st kw =
+  looking_at st kw
+  &&
+  let after = st.pos + String.length kw in
+  after >= String.length st.src || not (is_name_char st.src.[after])
+
+let eat st s = st.pos <- st.pos + String.length s
+
+let expect st s = if looking_at st s then eat st s else fail st "expected %S" s
+
+let read_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (at_end st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_qname st =
+  let a = read_name st in
+  if peek st = ':' && is_name_start (peek_at st 1) then begin
+    eat st ":";
+    let b = read_name st in
+    Xml.Qname.make ~prefix:a b
+  end
+  else Xml.Qname.make a
+
+(* ------------------------------------------------------- path embedding -- *)
+
+(* Scan the textual extent of an embedded XPath starting at [st.pos]:
+   bracket-aware (predicates may contain anything), string-literal-aware; at
+   depth 0 the path ends at whitespace, an operator character, or a
+   delimiter. '*' continues the path only where a wildcard step can appear. *)
+let scan_path_extent st =
+  let n = String.length st.src in
+  let i = ref st.pos in
+  let depth = ref 0 in
+  let stop = ref false in
+  let prev_significant = ref '\000' in
+  while (not !stop) && !i < n do
+    let c = st.src.[!i] in
+    if !depth > 0 then begin
+      (match c with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | '\'' | '"' ->
+        incr i;
+        while !i < n && st.src.[!i] <> c do
+          incr i
+        done
+      | _ -> ());
+      incr i
+    end
+    else begin
+      match c with
+      | '[' ->
+        incr depth;
+        incr i
+      | '/' | '@' | '.' ->
+        prev_significant := c;
+        incr i
+      | ':' when !i + 1 < n && st.src.[!i + 1] = ':' ->
+        prev_significant := ':';
+        i := !i + 2
+      | '*' ->
+        (* wildcard step only after / @ :: or at the very start *)
+        if !prev_significant = '/' || !prev_significant = '@'
+           || !prev_significant = ':' || !i = st.pos
+        then begin
+          prev_significant := 'w';
+          incr i
+        end
+        else stop := true
+      | '(' ->
+        (* kind tests: text() node() comment() processing-instruction(...) *)
+        let j = ref (!i + 1) in
+        let d = ref 1 in
+        while !j < n && !d > 0 do
+          (match st.src.[!j] with
+          | '(' -> incr d
+          | ')' -> decr d
+          | _ -> ());
+          incr j
+        done;
+        prev_significant := ')';
+        i := !j
+      | c when is_name_char c ->
+        prev_significant := 'n';
+        incr i
+      | _ -> stop := true
+    end
+  done;
+  let extent = String.sub st.src st.pos (!i - st.pos) in
+  (* trim trailing dots that belong to prose, not steps (defensive) *)
+  (extent, !i)
+
+let embedded_path st =
+  let extent, stop = scan_path_extent st in
+  match Xpath.Xpath_parser.parse extent with
+  | p ->
+    st.pos <- stop;
+    p
+  | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
+    raise (Syntax_error { pos = st.pos + pos; msg = "in path: " ^ msg })
+
+let continuation_path st ~double =
+  (* after [$x /] or [$x //]: parse the remainder as a relative path *)
+  let extent, stop = scan_path_extent st in
+  let extent = if double then "descendant-or-self::node()/" ^ extent else extent in
+  match Xpath.Xpath_parser.parse extent with
+  | p ->
+    st.pos <- stop;
+    p
+  | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
+    raise (Syntax_error { pos = st.pos + pos; msg = "in path: " ^ msg })
+
+(* --------------------------------------------------------------- parser -- *)
+
+let rec parse_expr st =
+  skip_ws st;
+  if looking_at_kw st "for" || looking_at_kw st "let" then parse_flwor st
+  else if looking_at_kw st "if" then parse_if st
+  else parse_or st
+
+and parse_flwor st =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    skip_ws st;
+    if looking_at_kw st "for" then begin
+      eat st "for";
+      let rec bindings () =
+        skip_ws st;
+        expect st "$";
+        let x = read_name st in
+        skip_ws st;
+        let at =
+          if looking_at_kw st "at" then begin
+            eat st "at";
+            skip_ws st;
+            expect st "$";
+            let i = read_name st in
+            skip_ws st;
+            Some i
+          end
+          else None
+        in
+        if not (looking_at_kw st "in") then fail st "expected 'in'";
+        eat st "in";
+        let e = parse_expr st in
+        clauses := For (x, at, e) :: !clauses;
+        skip_ws st;
+        if peek st = ',' then begin
+          eat st ",";
+          bindings ()
+        end
+      in
+      bindings ();
+      clause_loop ()
+    end
+    else if looking_at_kw st "let" then begin
+      eat st "let";
+      skip_ws st;
+      expect st "$";
+      let x = read_name st in
+      skip_ws st;
+      expect st ":=";
+      let e = parse_expr st in
+      clauses := Let (x, e) :: !clauses;
+      skip_ws st;
+      (if peek st = ',' then begin
+         eat st ",";
+         skip_ws st;
+         if not (looking_at st "$") then fail st "expected another let binding";
+         (* multiple lets via comma: let $a := e, $b := e *)
+         let rec more () =
+           expect st "$";
+           let x = read_name st in
+           skip_ws st;
+           expect st ":=";
+           let e = parse_expr st in
+           clauses := Let (x, e) :: !clauses;
+           skip_ws st;
+           if peek st = ',' then begin
+             eat st ",";
+             skip_ws st;
+             more ()
+           end
+         in
+         more ()
+       end);
+      clause_loop ()
+    end
+    else if looking_at_kw st "where" then begin
+      eat st "where";
+      let e = parse_expr st in
+      clauses := Where e :: !clauses;
+      clause_loop ()
+    end
+    else if looking_at_kw st "order" then begin
+      eat st "order";
+      skip_ws st;
+      if not (looking_at_kw st "by") then fail st "expected 'by'";
+      eat st "by";
+      let e = parse_expr st in
+      skip_ws st;
+      let dir =
+        if looking_at_kw st "descending" then begin
+          eat st "descending";
+          `Desc
+        end
+        else if looking_at_kw st "ascending" then begin
+          eat st "ascending";
+          `Asc
+        end
+        else `Asc
+      in
+      clauses := Order_by (e, dir) :: !clauses;
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  skip_ws st;
+  if not (looking_at_kw st "return") then fail st "expected 'return'";
+  eat st "return";
+  let ret = parse_expr st in
+  Flwor (List.rev !clauses, ret)
+
+and parse_if st =
+  eat st "if";
+  skip_ws st;
+  expect st "(";
+  let c = parse_seq st in
+  skip_ws st;
+  expect st ")";
+  skip_ws st;
+  if not (looking_at_kw st "then") then fail st "expected 'then'";
+  eat st "then";
+  let t = parse_expr st in
+  skip_ws st;
+  if not (looking_at_kw st "else") then fail st "expected 'else'";
+  eat st "else";
+  let e = parse_expr st in
+  If (c, t, e)
+
+and parse_seq st =
+  let e = parse_expr st in
+  skip_ws st;
+  if peek st = ',' then begin
+    eat st ",";
+    match parse_seq st with Seq es -> Seq (e :: es) | e2 -> Seq [ e; e2 ]
+  end
+  else e
+
+and parse_or st =
+  let a = parse_and st in
+  skip_ws st;
+  if looking_at_kw st "or" then begin
+    eat st "or";
+    Binop (Or, a, parse_or st)
+  end
+  else a
+
+and parse_and st =
+  let a = parse_cmp st in
+  skip_ws st;
+  if looking_at_kw st "and" then begin
+    eat st "and";
+    Binop (And, a, parse_and st)
+  end
+  else a
+
+and parse_cmp st =
+  let a = parse_add st in
+  skip_ws st;
+  let op =
+    if looking_at st "!=" then Some (Neq, 2)
+    else if looking_at st "<=" then Some (Le, 2)
+    else if looking_at st ">=" then Some (Ge, 2)
+    else if looking_at st "=" then Some (Eq, 1)
+    else if looking_at st "<" then Some (Lt, 1)
+    else if looking_at st ">" then Some (Gt, 1)
+    else if looking_at_kw st "eq" then Some (Eq, 2)
+    else if looking_at_kw st "ne" then Some (Neq, 2)
+    else if looking_at_kw st "lt" then Some (Lt, 2)
+    else if looking_at_kw st "le" then Some (Le, 2)
+    else if looking_at_kw st "gt" then Some (Gt, 2)
+    else if looking_at_kw st "ge" then Some (Ge, 2)
+    else None
+  in
+  match op with
+  | None -> a
+  | Some (op, n) ->
+    st.pos <- st.pos + n;
+    Binop (op, a, parse_add st)
+
+and parse_add st =
+  let rec loop a =
+    skip_ws st;
+    if peek st = '+' then begin
+      eat st "+";
+      loop (Binop (Add, a, parse_mul st))
+    end
+    else if
+      peek st = '-'
+      (* binary minus needs whitespace separation from names: [a -b] is
+         subtraction, [a-b] is one name (handled by the path scanner) *)
+    then begin
+      eat st "-";
+      loop (Binop (Sub, a, parse_mul st))
+    end
+    else a
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop a =
+    skip_ws st;
+    if peek st = '*' then begin
+      eat st "*";
+      loop (Binop (Mul, a, parse_unary st))
+    end
+    else if looking_at_kw st "div" then begin
+      eat st "div";
+      loop (Binop (Div, a, parse_unary st))
+    end
+    else if looking_at_kw st "mod" then begin
+      eat st "mod";
+      loop (Binop (Mod, a, parse_unary st))
+    end
+    else a
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  skip_ws st;
+  if peek st = '-' then begin
+    eat st "-";
+    Neg (parse_unary st)
+  end
+  else parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  skip_ws st;
+  match e with
+  | Var _ | Seq _ | Flwor _ ->
+    if looking_at st "//" then begin
+      eat st "//";
+      Path (Some e, continuation_path st ~double:true)
+    end
+    else if peek st = '/' then begin
+      eat st "/";
+      Path (Some e, continuation_path st ~double:false)
+    end
+    else e
+  | _ -> e
+
+and parse_primary st =
+  skip_ws st;
+  let c = peek st in
+  if c = '\'' || c = '"' then begin
+    let quote = c in
+    eat st (String.make 1 quote);
+    let start = st.pos in
+    while (not (at_end st)) && peek st <> quote do
+      st.pos <- st.pos + 1
+    done;
+    if at_end st then fail st "unterminated string literal";
+    let s = String.sub st.src start (st.pos - start) in
+    eat st (String.make 1 quote);
+    Str_lit s
+  end
+  else if c >= '0' && c <= '9' then begin
+    let start = st.pos in
+    while
+      (not (at_end st)) && ((peek st >= '0' && peek st <= '9') || peek st = '.')
+    do
+      st.pos <- st.pos + 1
+    done;
+    let s = String.sub st.src start (st.pos - start) in
+    match float_of_string_opt s with
+    | Some f -> Num_lit f
+    | None -> fail st "malformed number %S" s
+  end
+  else if c = '$' then begin
+    eat st "$";
+    Var (read_name st)
+  end
+  else if c = '(' then begin
+    eat st "(";
+    skip_ws st;
+    if peek st = ')' then begin
+      eat st ")";
+      Seq []
+    end
+    else begin
+      let e = parse_seq st in
+      skip_ws st;
+      expect st ")";
+      e
+    end
+  end
+  else if c = '<' then parse_constructor st
+  else if c = '/' || c = '.' || c = '@' || c = '*' then
+    Path (None, embedded_path st)
+  else if is_name_start c then begin
+    (* function call, keyword expression, or a relative path *)
+    if looking_at_kw st "if" then parse_if st
+    else if looking_at_kw st "for" || looking_at_kw st "let" then parse_flwor st
+    else begin
+      (* look ahead: NAME '(' = function call unless a kind test *)
+      let save = st.pos in
+      let name = read_name st in
+      let is_kind =
+        List.mem name [ "text"; "node"; "comment"; "processing-instruction" ]
+      in
+      skip_ws st;
+      if peek st = '(' && not is_kind then begin
+        eat st "(";
+        skip_ws st;
+        let args =
+          if peek st = ')' then []
+          else begin
+            let rec args () =
+              let a = parse_expr st in
+              skip_ws st;
+              if peek st = ',' then begin
+                eat st ",";
+                a :: args ()
+              end
+              else [ a ]
+            in
+            args ()
+          end
+        in
+        skip_ws st;
+        expect st ")";
+        Call (name, args)
+      end
+      else begin
+        st.pos <- save;
+        Path (None, embedded_path st)
+      end
+    end
+  end
+  else fail st "unexpected character %C" c
+
+(* direct element constructor: <name a="v{e}"> text {e} <nested/> </name> *)
+and parse_constructor st =
+  expect st "<";
+  let name = read_qname st in
+  let attrs = ref [] in
+  let rec attr_loop () =
+    skip_ws st;
+    if is_name_start (peek st) then begin
+      let q = read_qname st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let quote = peek st in
+      if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+      eat st (String.make 1 quote);
+      let segs = ref [] in
+      let buf = Buffer.create 16 in
+      let flush () =
+        if Buffer.length buf > 0 then begin
+          segs := Alit (Buffer.contents buf) :: !segs;
+          Buffer.clear buf
+        end
+      in
+      let rec scan () =
+        if at_end st then fail st "unterminated attribute value"
+        else if peek st = quote then eat st (String.make 1 quote)
+        else if peek st = '{' then begin
+          eat st "{";
+          flush ();
+          let e = parse_seq st in
+          skip_ws st;
+          expect st "}";
+          segs := Aexpr e :: !segs;
+          scan ()
+        end
+        else begin
+          Buffer.add_char buf (peek st);
+          st.pos <- st.pos + 1;
+          scan ()
+        end
+      in
+      scan ();
+      flush ();
+      attrs := (q, List.rev !segs) :: !attrs;
+      attr_loop ()
+    end
+  in
+  attr_loop ();
+  skip_ws st;
+  if looking_at st "/>" then begin
+    eat st "/>";
+    Elem (name, List.rev !attrs, [])
+  end
+  else begin
+    expect st ">";
+    let content = ref [] in
+    let buf = Buffer.create 32 in
+    let flush () =
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      (* whitespace-only boundary text is formatting, not content *)
+      if String.length (String.trim s) > 0 then content := Ctext s :: !content
+    in
+    let rec scan () =
+      if at_end st then fail st "unterminated element constructor"
+      else if looking_at st "</" then begin
+        flush ();
+        eat st "</";
+        let n2 = read_qname st in
+        skip_ws st;
+        expect st ">";
+        if not (Xml.Qname.equal n2 name) then
+          fail st "mismatched constructor end tag </%s>" (Xml.Qname.to_string n2)
+      end
+      else if peek st = '{' then begin
+        eat st "{";
+        flush ();
+        let e = parse_seq st in
+        skip_ws st;
+        expect st "}";
+        content := Cexpr e :: !content;
+        scan ()
+      end
+      else if peek st = '<' then begin
+        flush ();
+        let e = parse_constructor st in
+        content := Cexpr e :: !content;
+        scan ()
+      end
+      else begin
+        Buffer.add_char buf (peek st);
+        st.pos <- st.pos + 1;
+        scan ()
+      end
+    in
+    scan ();
+    Elem (name, List.rev !attrs, List.rev !content)
+  end
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let e = parse_seq st in
+  skip_ws st;
+  if not (at_end st) then fail st "trailing input";
+  e

@@ -1,0 +1,32 @@
+(** Parser for the XQuery subset of {!Xq_ast}.
+
+    Grammar sketch (whitespace-insensitive except where noted):
+    {v
+    expr   ::= flwor | if | or
+    flwor  ::= (for | let)+ where? orderby? 'return' expr
+    for    ::= 'for' '$'name 'in' expr (',' '$'name 'in' expr)*
+    let    ::= 'let' '$'name ':=' expr
+    where  ::= 'where' expr
+    orderby::= 'order' 'by' expr ('ascending' | 'descending')?
+    or     ::= and ('or' and)*
+    and    ::= cmp ('and' cmp)*
+    cmp    ::= add (('='|'!='|'<'|'<='|'>'|'>='|'eq'|'ne'|'lt'|'le'|'gt'|'ge') add)?
+    add    ::= mul (('+'|'-') mul)*
+    mul    ::= unary (('*'|'div'|'mod') unary)*
+    unary  ::= '-' unary | postfix
+    postfix::= primary (('/' | '//') relative-path)?
+    primary::= literal | '$'name | '(' expr (',' expr)* ')' | name '(' args ')'
+             | path | '<' direct-element-constructor | if | flwor
+    v}
+
+    Embedded paths use the full {!Xpath.Xpath_parser} grammar (the path
+    extent is scanned bracket-aware, then handed to that parser), so all axes
+    and predicates work inside XQuery. A path token ends at top-level
+    whitespace or an operator character, so write [$a/b[c > 1]] freely but
+    put spaces around arithmetic minus: [$x - 1]. *)
+
+exception Syntax_error of { pos : int; msg : string }
+
+val parse : string -> Xq_ast.expr
+(** Raises {!Syntax_error} (or re-raises {!Xpath.Xpath_parser.Syntax_error}
+    as {!Syntax_error} with adjusted position). *)

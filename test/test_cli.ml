@@ -1,0 +1,113 @@
+(* End-to-end tests of the xqdb command-line tool (spawns the built binary). *)
+
+(* dune runtest runs with cwd = _build/default/test; dune exec from the
+   project root *)
+let xqdb =
+  List.find Sys.file_exists
+    [ "../bin/xqdb.exe"; "_build/default/bin/xqdb.exe"; "bin/xqdb.exe" ]
+
+let run args =
+  let out = Filename.temp_file "xqdb_out" ".txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote xqdb)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in_bin out in
+  let contents =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, contents)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let with_dir f =
+  let dir = Filename.temp_file "xqdb_cli" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let write path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let test_xmark_and_query () =
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "auction.xml" in
+      let code, out = run [ "xmark"; "-s"; "0.001"; "-o"; doc ] in
+      Alcotest.(check int) "xmark exit" 0 code;
+      Alcotest.(check bool) "reports nodes" true (contains out "nodes");
+      let code, out = run [ "query"; doc; "//person[@id='person0']/name" ] in
+      Alcotest.(check int) "query exit" 0 code;
+      Alcotest.(check bool) "one name element" true (contains out "<name>");
+      let code, out = run [ "query"; "--count"; doc; "/site/regions/*/item" ] in
+      Alcotest.(check int) "count exit" 0 code;
+      Alcotest.(check bool) "count printed" true (int_of_string (String.trim out) > 0))
+
+let test_query_errors () =
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "d.xml" in
+      write doc "<r><a/></r>";
+      let code, out = run [ "query"; doc; "///" ] in
+      Alcotest.(check int) "bad xpath exit" 1 code;
+      Alcotest.(check bool) "error message" true (contains out "xpath error"))
+
+let test_update_roundtrip () =
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "d.xml" in
+      let xu = Filename.concat dir "change.xu" in
+      let out_doc = Filename.concat dir "d2.xml" in
+      write doc "<inventory><part id='p1'/></inventory>";
+      write xu
+        {|<xupdate:modifications>
+            <xupdate:append select="/inventory"><part id="p2"/></xupdate:append>
+          </xupdate:modifications>|};
+      let code, out = run [ "update"; doc; xu; "-o"; out_doc ] in
+      Alcotest.(check int) "update exit" 0 code;
+      Alcotest.(check bool) "reports targets" true (contains out "1 target");
+      let code, out = run [ "query"; "--count"; out_doc; "//part" ] in
+      Alcotest.(check int) "verify exit" 0 code;
+      Alcotest.(check string) "two parts" "2" (String.trim out))
+
+let test_stats () =
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "d.xml" in
+      write doc "<r><a k='1'/><b/><c>text</c></r>";
+      let code, out = run [ "stats"; doc; "--page-bits"; "3"; "--fill"; "0.5" ] in
+      Alcotest.(check int) "stats exit" 0 code;
+      Alcotest.(check bool) "has overhead row" true (contains out "storage overhead");
+      Alcotest.(check bool) "has pages row" true (contains out "logical pages"))
+
+let test_checkpoint_recover () =
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "d.xml" in
+      let ck = Filename.concat dir "d.ck" in
+      write doc "<ledger><e n='1'/><e n='2'/></ledger>";
+      let code, _ = run [ "checkpoint"; doc; ck ] in
+      Alcotest.(check int) "checkpoint exit" 0 code;
+      let code, out = run [ "recover"; ck ] in
+      Alcotest.(check int) "recover exit" 0 code;
+      Alcotest.(check bool) "integrity reported" true (contains out "integrity OK");
+      Alcotest.(check bool) "document printed" true (contains out "<ledger>"))
+
+let () =
+  Alcotest.run "cli"
+    [ ( "xqdb",
+        [ Alcotest.test_case "xmark + query" `Quick test_xmark_and_query;
+          Alcotest.test_case "query errors" `Quick test_query_errors;
+          Alcotest.test_case "update roundtrip" `Quick test_update_roundtrip;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover ] ) ]

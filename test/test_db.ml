@@ -1,0 +1,205 @@
+(* End-to-end Db facade tests and schema validation. *)
+
+module Dom = Xml.Dom
+module V = Core.Validate
+module Db = Core.Db
+module Up = Core.Schema_up
+
+let check_integrity t =
+  match Up.check_integrity t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "integrity: %s" m
+
+let site_schema =
+  V.of_rules
+    [ ("site", V.rule ~content:(V.Children_of [ "people"; "items" ]) ());
+      ("people", V.rule ~content:(V.Children_of [ "person" ]) ());
+      ("person", V.rule ~required:[ "id" ] ());
+      ("name", V.rule ~content:V.Text_only ());
+      ("age", V.rule ~content:V.Text_only ~allowed:[] ()) ]
+
+(* ------------------------------------------------------------- validate -- *)
+
+let view_of d f =
+  let t = Up.of_dom d in
+  f (Core.View.direct t)
+
+let test_validate_ok () =
+  view_of Testsupport.small_doc (fun v ->
+      match V.check_view site_schema v with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "expected valid: %s" m)
+
+let expect_invalid schema xml fragment_of_error =
+  view_of (Xml.Xml_parser.parse ~strip_ws:true xml) (fun v ->
+      match V.check_view schema v with
+      | Ok () -> Alcotest.failf "expected invalid (%s)" fragment_of_error
+      | Error m ->
+        let contains =
+          let nh = String.length m and nn = String.length fragment_of_error in
+          let rec go i = i + nn <= nh && (String.sub m i nn = fragment_of_error || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) (Printf.sprintf "%S in %S" fragment_of_error m) true contains)
+
+let test_validate_failures () =
+  expect_invalid site_schema "<site><intruder/></site>" "intruder";
+  expect_invalid site_schema "<site><people><person/></people></site>" "missing required";
+  expect_invalid site_schema
+    "<site><people><person id='p'><name><b/></name></person></people></site>"
+    "element children not allowed";
+  expect_invalid site_schema
+    "<site><people><person id='p'><age verified='y'>3</age></person></people></site>"
+    "not allowed";
+  expect_invalid
+    (V.of_rules [ ("site", V.rule ~content:V.Empty ()) ])
+    "<site><x/></site>" "must be empty";
+  expect_invalid
+    (V.of_rules [ ("people", V.rule ~content:(V.Children_of [ "person" ]) ()) ])
+    "<site><people>stray text</people></site>" "text content not allowed"
+
+(* ------------------------------------------------------------------- db -- *)
+
+let test_db_end_to_end () =
+  let db = Db.of_xml ~page_bits:3 ~fill:0.75 (Xml.Xml_serialize.to_string Testsupport.small_doc) in
+  Alcotest.(check int) "three persons" 3 (Db.query_count db "//person");
+  Alcotest.(check (list string)) "query strings" [ "Ada" ]
+    (Db.query_strings db "/site/people/person[1]/name/text()");
+  let n =
+    Db.update db
+      {|<xupdate:modifications>
+          <xupdate:insert-after select="/site/people/person[1]">
+            <person id="pX"><name>Between</name></person>
+          </xupdate:insert-after>
+        </xupdate:modifications>|}
+  in
+  Alcotest.(check int) "one target" 1 n;
+  Alcotest.(check (list string)) "order after update"
+    [ "Ada"; "Between"; "Grace"; "Edsger" ]
+    (Db.query_strings db "/site/people/person/name");
+  check_integrity (Db.store db);
+  (* to_xml reparses to an equivalent document *)
+  let again = Db.of_xml (Db.to_xml db) in
+  Alcotest.(check (list string)) "roundtrip through xml"
+    (Db.query_strings db "//person/@id")
+    (Db.query_strings again "//person/@id")
+
+let test_db_schema_enforced () =
+  let schema =
+    V.of_rules [ ("people", V.rule ~content:(V.Children_of [ "person" ]) ()) ]
+  in
+  let db = Db.create ~schema Testsupport.small_doc in
+  (match
+     Db.update db
+       {|<xupdate:modifications>
+           <xupdate:append select="/site/people"><junk/></xupdate:append>
+         </xupdate:modifications>|}
+   with
+  | _ -> Alcotest.fail "expected Aborted"
+  | exception Core.Txn.Aborted _ -> ());
+  Alcotest.(check int) "rolled back" 0 (Db.query_count db "//junk");
+  (* a valid update still goes through *)
+  let n =
+    Db.update db
+      {|<xupdate:modifications>
+          <xupdate:append select="/site/people"><person id="ok"/></xupdate:append>
+        </xupdate:modifications>|}
+  in
+  Alcotest.(check int) "valid accepted" 1 n
+
+let test_db_with_write_and_read () =
+  let db = Db.create Testsupport.small_doc in
+  let before = Db.read db (fun v -> Core.View.node_count v) in
+  Db.with_write db (fun v ->
+      let module E = Core.Engine.Make (Core.View) in
+      match E.parse_eval v "/site/items" with
+      | [ E.Node items ] ->
+        Core.Update.insert v (Core.Update.Last_child items)
+          (Xml.Xml_parser.parse_fragment "<item id='new'><name>lamp</name></item>")
+      | _ -> Alcotest.fail "items");
+  let after = Db.read db (fun v -> Core.View.node_count v) in
+  Alcotest.(check int) "three more nodes" (before + 3) after
+
+let test_db_vacuum () =
+  (* churn the store, then compact: same document, tighter layout, node
+     handles preserved *)
+  let db = Db.create ~page_bits:3 ~fill:0.9 Testsupport.small_doc in
+  let handle =
+    Db.read db (fun v ->
+        let module E = Core.Engine.Make (Core.View) in
+        match E.parse_eval v "/site/items/item[2]" with
+        | [ E.Node pre ] -> Core.Schema_up.node_at (Db.store db) ~pre
+        | _ -> Alcotest.fail "item2")
+  in
+  for i = 1 to 10 do
+    let _ =
+      Db.update db
+        (Printf.sprintf
+           {|<xupdate:modifications>
+               <xupdate:append select="/site/people"><person id="v%d"/></xupdate:append>
+               <xupdate:remove select="/site/people/person[2]"/>
+             </xupdate:modifications>|}
+           i)
+    in
+    ()
+  done;
+  let before_doc = Db.to_xml db in
+  let before_pages = Core.Schema_up.npages (Db.store db) in
+  Db.vacuum ~fill:0.9 db;
+  check_integrity (Db.store db);
+  Alcotest.(check string) "document unchanged" before_doc (Db.to_xml db);
+  Alcotest.(check bool)
+    (Printf.sprintf "pages %d -> %d" before_pages
+       (Core.Schema_up.npages (Db.store db)))
+    true
+    (Core.Schema_up.npages (Db.store db) <= before_pages);
+  Alcotest.(check bool) "pagemap identity restored" true
+    (Column.Pagemap.is_identity (Core.Schema_up.pagemap (Db.store db)));
+  (* the held node id still resolves to the same element *)
+  (match Core.Schema_up.pre_of_node (Db.store db) handle with
+  | Some pre ->
+    Db.read db (fun v ->
+        Alcotest.(check (option string)) "handle survives vacuum" (Some "i1")
+          (Core.View.attribute v pre (Xml.Qname.make "id")))
+  | None -> Alcotest.fail "handle lost");
+  (* updates still work after vacuum *)
+  let n =
+    Db.update db
+      {|<xupdate:modifications>
+          <xupdate:append select="/site/people"><person id="post-vacuum"/></xupdate:append>
+        </xupdate:modifications>|}
+  in
+  Alcotest.(check int) "post-vacuum update" 1 n
+
+let test_db_vacuum_wal_guard () =
+  let tmp = Filename.temp_file "vacuum" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let db = Db.create ~wal_path:tmp Testsupport.small_doc in
+      Alcotest.check_raises "wal requires checkpoint"
+        (Invalid_argument
+           "Db.vacuum: compaction invalidates the WAL; pass ~checkpoint_to")
+        (fun () -> Db.vacuum db);
+      let ck = Filename.temp_file "vacuum" ".ck" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+        (fun () ->
+          Db.vacuum ~checkpoint_to:ck db;
+          (* recovery from the new checkpoint gives the same document *)
+          let db2 = Db.open_recovered ~wal_path:tmp ~checkpoint:ck () in
+          Alcotest.(check string) "recovered equals" (Db.to_xml db) (Db.to_xml db2);
+          Db.close db2);
+      Db.close db)
+
+let () =
+  Alcotest.run "db"
+    [ ( "validate",
+        [ Alcotest.test_case "valid document" `Quick test_validate_ok;
+          Alcotest.test_case "failure modes" `Quick test_validate_failures ] );
+      ( "facade",
+        [ Alcotest.test_case "query/update/serialise" `Quick test_db_end_to_end;
+          Alcotest.test_case "schema enforced on commit" `Quick test_db_schema_enforced;
+          Alcotest.test_case "with_write and read" `Quick test_db_with_write_and_read;
+          Alcotest.test_case "vacuum" `Quick test_db_vacuum;
+          Alcotest.test_case "vacuum + wal" `Quick test_db_vacuum_wal_guard ] ) ]

@@ -1,0 +1,210 @@
+(* Randomised engine verification: random XPath expressions over random
+   documents, evaluated by the storage engine on BOTH schemas and checked
+   against the independent DOM evaluator (Testsupport.Dom_eval). *)
+
+module Dom = Xml.Dom
+module Qname = Xml.Qname
+module Ro = Core.Schema_ro
+module Up = Core.Schema_up
+module E_ro = Core.Engine.Make (Core.Schema_ro)
+module E_up = Core.Engine.Make (Core.Schema_up)
+module Ord_ro = Testsupport.Ord (Core.Schema_ro)
+module Ord_up = Testsupport.Ord (Core.Schema_up)
+module De = Testsupport.Dom_eval
+open Xpath.Xpath_ast
+
+(* ------------------------------------------------- random path generator -- *)
+
+let gen_axis =
+  QCheck2.Gen.frequency
+    [ (6, QCheck2.Gen.return Child);
+      (3, QCheck2.Gen.return Descendant);
+      (2, QCheck2.Gen.return Descendant_or_self);
+      (1, QCheck2.Gen.return Self);
+      (1, QCheck2.Gen.return Parent);
+      (1, QCheck2.Gen.return Ancestor);
+      (1, QCheck2.Gen.return Ancestor_or_self);
+      (1, QCheck2.Gen.return Following);
+      (1, QCheck2.Gen.return Preceding);
+      (1, QCheck2.Gen.return Following_sibling);
+      (1, QCheck2.Gen.return Preceding_sibling) ]
+
+let gen_test =
+  let open QCheck2.Gen in
+  frequency
+    [ (5, map (fun n -> Name (Qname.make n)) (oneofa Testsupport.names));
+      (2, return Wildcard);
+      (1, return Kind_node);
+      (1, return Kind_text);
+      (1, return Kind_comment) ]
+
+let gen_value ~depth gen_path =
+  let open QCheck2.Gen in
+  frequency
+    ([ (2, map (fun i -> Lit_str ("t" ^ string_of_int i)) (int_bound 30));
+       (2, map (fun i -> Lit_num (float_of_int i)) (int_bound 9));
+       (1, return Ctx_string) ]
+    @
+    if depth <= 0 then []
+    else
+      [ (2, map (fun p -> Path_string p) (gen_path (depth - 1)));
+        (1, map (fun p -> Count p) (gen_path (depth - 1))) ])
+
+let gen_cmpop = QCheck2.Gen.oneofl [ Eq; Neq; Lt; Le; Gt; Ge ]
+
+(* boolean (non-positional) predicates, usable inside and/or/not *)
+let rec gen_bool_pred ~depth gen_path =
+  let open QCheck2.Gen in
+  if depth <= 0 then
+    let* a = gen_value ~depth:0 gen_path in
+    let* op = gen_cmpop in
+    let* b = gen_value ~depth:0 gen_path in
+    return (Cmp (a, op, b))
+  else
+    frequency
+      [ ( 3,
+          let* a = gen_value ~depth gen_path in
+          let* op = gen_cmpop in
+          let* b = gen_value ~depth gen_path in
+          return (Cmp (a, op, b)) );
+        (2, map (fun p -> Exists p) (gen_path (depth - 1)));
+        ( 1,
+          let* a = gen_value ~depth gen_path in
+          let* b = gen_value ~depth gen_path in
+          return (Contains (a, b)) );
+        ( 1,
+          let* a = gen_bool_pred ~depth:(depth - 1) gen_path in
+          let* b = gen_bool_pred ~depth:(depth - 1) gen_path in
+          oneofl [ And (a, b); Or (a, b); Not a ] ) ]
+
+let gen_pred ~depth gen_path =
+  let open QCheck2.Gen in
+  frequency
+    ([ (3, map (fun n -> Pos (1 + n)) (int_bound 3)); (1, return Last) ]
+    @ if depth <= 0 then [] else [ (6, gen_bool_pred ~depth gen_path) ])
+
+let rec gen_path depth : path QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let gen_step =
+    let* axis = gen_axis in
+    let* test = gen_test in
+    let* npreds = frequency [ (5, return 0); (3, return 1); (1, return 2) ] in
+    let* preds = list_repeat npreds (gen_pred ~depth (fun d -> gen_path d)) in
+    return { axis; test; preds }
+  in
+  let* absolute = bool in
+  let* nsteps = int_range 1 3 in
+  let* steps = list_repeat nsteps gen_step in
+  (* optionally end on an attribute step *)
+  let* attr_tail = frequency [ (4, return None); (1, map Option.some (oneofa Testsupport.attr_names)) ] in
+  let steps =
+    match attr_tail with
+    | None -> steps
+    | Some a -> steps @ [ { axis = Attribute; test = Name (Qname.make a); preds = [] } ]
+  in
+  return { absolute; steps }
+
+(* ------------------------------------------------------------ the check -- *)
+
+(* Compare engine results (as ordinal lists / attr triples) with the DOM
+   evaluator. *)
+let items_agree ~to_ord engine_items oracle_items =
+  let norm_e =
+    List.map
+      (function
+        | `N pre -> `N (to_ord pre)
+        | `A (owner, q, v) -> `A (to_ord owner, Qname.to_string q, v))
+      engine_items
+  in
+  let norm_o =
+    List.map
+      (function
+        | De.N i -> `N i
+        | De.A (i, q, v) -> `A (i, Qname.to_string q, v))
+      oracle_items
+  in
+  List.sort compare norm_e = List.sort compare norm_o
+
+let check_doc_path d p =
+  let c = De.make d in
+  let oracle = De.eval c p in
+  let ro = Ro.of_dom d in
+  let up = Up.of_dom ~page_bits:2 ~fill:0.6 d in
+  let tbl_ro, _ = Ord_ro.mapping ro in
+  let tbl_up, _ = Ord_up.mapping up in
+  let lift items to_ord extract =
+    List.map
+      (fun it ->
+        match extract it with
+        | `N pre -> `N pre
+        | `A x -> `A x)
+      items
+    |> fun l -> (l, to_ord)
+  in
+  ignore lift;
+  let e_ro =
+    List.map
+      (function
+        | E_ro.Node pre -> `N pre
+        | E_ro.Attribute { owner; qn; value } -> `A (owner, qn, value))
+      (E_ro.eval_items ro p)
+  in
+  let e_up =
+    List.map
+      (function
+        | E_up.Node pre -> `N pre
+        | E_up.Attribute { owner; qn; value } -> `A (owner, qn, value))
+      (E_up.eval_items up p)
+  in
+  let ok_ro = items_agree ~to_ord:(Hashtbl.find tbl_ro) e_ro oracle in
+  let ok_up = items_agree ~to_ord:(Hashtbl.find tbl_up) e_up oracle in
+  if not ok_ro then Error "ro schema disagrees with DOM evaluator"
+  else if not ok_up then Error "up schema disagrees with DOM evaluator"
+  else Ok ()
+
+let gen_case =
+  let open QCheck2.Gen in
+  let* d = Testsupport.gen_doc in
+  let* p = gen_path 2 in
+  return (d, p)
+
+let print_case (d, p) =
+  Printf.sprintf "path: %s\ndoc: %s" (Xpath.Xpath_ast.to_string p)
+    (Testsupport.print_doc d)
+
+let prop_random_queries =
+  QCheck2.Test.make ~name:"random XPath agrees with the DOM evaluator (both schemas)"
+    ~count:600 ~print:print_case gen_case (fun (d, p) ->
+      match check_doc_path d p with
+      | Ok () -> true
+      | Error m -> QCheck2.Test.fail_report m)
+
+(* Also pin a set of tricky fixed expressions on the structured sample. *)
+let tricky =
+  [ "//person[age > 40]/@id";
+    "/site/*/person[last()]/name";
+    "//name[../@id = 'p1']";
+    "//item[not(contains(desc, 'shiny'))]/@id";
+    "//person[count(*) >= 2][2]/name";
+    "/descendant::text()[3]";
+    "//*[following-sibling::items]";
+    "//b/ancestor::item/@id";
+    "//person[1]/following::comment()";
+    "//node()[preceding-sibling::person[2]]";
+    "//*[. = 'Ada']";
+    "//person[@id >= 'p1']/@id" ]
+
+let test_tricky_fixed () =
+  List.iter
+    (fun src ->
+      let p = Xpath.Xpath_parser.parse src in
+      match check_doc_path Testsupport.small_doc p with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" src m)
+    tricky
+
+let () =
+  Alcotest.run "engine_random"
+    [ ( "oracle",
+        [ Alcotest.test_case "tricky fixed expressions" `Quick test_tricky_fixed;
+          QCheck_alcotest.to_alcotest prop_random_queries ] ) ]

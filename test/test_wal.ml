@@ -1,0 +1,231 @@
+(* Durability tests: WAL record codec, commit logging, checkpoint + replay
+   recovery, torn-log crash recovery. *)
+
+module Dom = Xml.Dom
+module P = Xml.Xml_parser
+module Up = Core.Schema_up
+module View = Core.View
+module U = Core.Update
+module Txn = Core.Txn
+module Wal = Core.Wal
+module E = Core.Engine.Make (Core.View)
+module Ser = Core.Node_serialize.Make (Core.View)
+
+let doc = Alcotest.testable Dom.pp Dom.equal
+
+let with_temp f =
+  let dir = Filename.temp_file "waltest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let check_integrity t =
+  match Up.check_integrity t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "integrity: %s" m
+
+let node_pre v path =
+  match E.parse_eval v path with
+  | [ E.Node pre ] -> pre
+  | _ -> Alcotest.failf "expected one node for %s" path
+
+(* ---------------------------------------------------------------- codec -- *)
+
+let sample_record =
+  { Wal.txn = 42;
+    cells = [ (3, 0, 7); (12, 1, Column.Varray.null) ];
+    pages = [ Array.init 5 (fun c -> Array.init 4 (fun i -> (c * 10) + i)) ];
+    page_order = [| 0; 2; 1 |];
+    node_pos = [ (5, 17); (9, Column.Varray.null) ];
+    freed_nodes = [ 4; 2 ];
+    size_deltas = [ (0, 3); (7, -2) ];
+    attr_adds = [ (1, 2, 3) ];
+    attr_dels = [ 0 ];
+    pool = [ (Core.View.Ptext, 2, "hello"); (Core.View.Dqn, 1, "item") ];
+    live_delta = 1 }
+
+let test_record_roundtrip () =
+  let payload = Wal.encode sample_record in
+  let r = Wal.decode payload in
+  Alcotest.(check int) "txn" 42 r.Wal.txn;
+  Alcotest.(check bool) "equal" true (r = sample_record)
+
+let test_record_corrupt () =
+  match Wal.decode "garbage" with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Column.Persist.Dec.Corrupt _ -> ()
+
+let gen_record =
+  let open QCheck2.Gen in
+  let pool_tag =
+    oneofl
+      [ Core.View.Ptext; Core.View.Pcomment; Core.View.Ppi_target;
+        Core.View.Ppi_data; Core.View.Dqn; Core.View.Dprop ]
+  in
+  let* txn = int_bound 10_000 in
+  let* cells = small_list (triple (int_bound 999) (int_bound 4) int) in
+  let* npages = int_bound 2 in
+  let* page_seed = int_bound 100 in
+  let pages =
+    List.init npages (fun p ->
+        Array.init 5 (fun c -> Array.init 4 (fun i -> page_seed + (p * 100) + (c * 10) + i)))
+  in
+  let* order_n = int_range 1 5 in
+  let order =
+    Array.init order_n (fun i -> (i + page_seed) mod order_n)
+    |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+  in
+  let order = Array.init (Array.length order) (fun i -> order.(i)) in
+  let* node_pos = small_list (pair (int_bound 999) int) in
+  let* freed = small_list (int_bound 999) in
+  let* deltas = small_list (pair (int_bound 999) (int_range (-5) 5)) in
+  let* attr_adds = small_list (triple (int_bound 99) (int_bound 99) (int_bound 99)) in
+  let* attr_dels = small_list (int_bound 99) in
+  let* pool = small_list (triple pool_tag (int_bound 99) string_printable) in
+  let* live_delta = int_range (-100) 100 in
+  return
+    { Wal.txn; cells; pages; page_order = order; node_pos;
+      freed_nodes = freed; size_deltas = deltas; attr_adds; attr_dels; pool;
+      live_delta }
+
+let prop_record_roundtrip =
+  QCheck2.Test.make ~name:"WAL record encode/decode roundtrip" ~count:300
+    gen_record (fun r -> Wal.decode (Wal.encode r) = r)
+
+(* --------------------------------------------------------------- replay -- *)
+
+let test_wal_replay_reproduces_document () =
+  with_temp (fun dir ->
+      let wal_path = Filename.concat dir "log.wal" in
+      (* two stores shredded identically; one gets updates with a WAL *)
+      let mk () = Up.of_dom ~page_bits:3 ~fill:0.75 Testsupport.small_doc in
+      let live = mk () in
+      let wal = Wal.open_log wal_path in
+      let m = Txn.manager ~wal live in
+      Txn.with_write m (fun v ->
+          U.insert v (U.Last_child (node_pre v "/site/people"))
+            (P.parse_fragment "<person id='p3'><name>Alan</name></person>"));
+      Txn.with_write m (fun v -> U.delete v ~pre:(node_pre v "/site/items/item[1]"));
+      Txn.with_write m (fun v ->
+          U.set_attribute v ~pre:(node_pre v "/site/items/item") (Xml.Qname.make "hot") "yes");
+      Wal.close wal;
+      (* recover onto a fresh shred of the same base document *)
+      let recovered = mk () in
+      let n, _ = Txn.recover ~wal_path recovered in
+      Alcotest.(check int) "three records" 3 n;
+      check_integrity recovered;
+      Alcotest.check doc "same document"
+        (Ser.to_dom (View.direct live))
+        (Ser.to_dom (View.direct recovered));
+      Alcotest.(check int) "same live count" (Up.node_count live)
+        (Up.node_count recovered))
+
+let test_checkpoint_recover_cycle () =
+  with_temp (fun dir ->
+      let ck = Filename.concat dir "store.ck" in
+      let wal_path = Filename.concat dir "store.ck.wal" in
+      let db =
+        Core.Db.create ~page_bits:3 ~fill:0.75 ~wal_path Testsupport.small_doc
+      in
+      let _ = Core.Db.update db
+          {|<xupdate:modifications>
+              <xupdate:append select="/site/people">
+                <person id="p9"><name>Barbara</name></person>
+              </xupdate:append>
+            </xupdate:modifications>|}
+      in
+      Core.Db.checkpoint db ck;
+      (* post-checkpoint commits live only in the WAL *)
+      let _ = Core.Db.update db
+          {|<xupdate:modifications>
+              <xupdate:remove select="/site/items/item[2]"/>
+            </xupdate:modifications>|}
+      in
+      let expected = Core.Db.to_xml db in
+      Core.Db.close db;
+      (* crash: reopen from checkpoint + WAL *)
+      let db2 = Core.Db.open_recovered ~wal_path ~checkpoint:ck () in
+      check_integrity (Core.Db.store db2);
+      Alcotest.(check string) "document recovered" expected (Core.Db.to_xml db2);
+      (* the recovered store accepts new transactions *)
+      let n = Core.Db.update db2
+          {|<xupdate:modifications>
+              <xupdate:append select="/site/people"><person/></xupdate:append>
+            </xupdate:modifications>|}
+      in
+      Alcotest.(check int) "one target" 1 n;
+      Core.Db.close db2)
+
+let test_torn_wal_tail_recovers_prefix () =
+  with_temp (fun dir ->
+      let wal_path = Filename.concat dir "log.wal" in
+      let mk () = Up.of_dom ~page_bits:3 ~fill:0.75 Testsupport.small_doc in
+      let live = mk () in
+      let wal = Wal.open_log wal_path in
+      let m = Txn.manager ~wal live in
+      Txn.with_write m (fun v ->
+          U.insert v (U.Last_child (node_pre v "/site/people"))
+            (P.parse_fragment "<person id='keep'/>"));
+      let after_first = Ser.to_dom (View.direct live) in
+      Txn.with_write m (fun v ->
+          U.insert v (U.Last_child (node_pre v "/site/people"))
+            (P.parse_fragment "<person id='torn'/>"));
+      Wal.close wal;
+      (* cut the last 7 bytes: the second frame fails its checksum *)
+      let len = (Unix.stat wal_path).Unix.st_size in
+      let fd = Unix.openfile wal_path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (len - 7);
+      Unix.close fd;
+      let recovered = mk () in
+      let n, _ = Txn.recover ~wal_path recovered in
+      Alcotest.(check int) "only the intact record" 1 n;
+      check_integrity recovered;
+      Alcotest.check doc "prefix state" after_first (Ser.to_dom (View.direct recovered)))
+
+let test_missing_wal_is_empty () =
+  let t = Up.of_dom Testsupport.small_doc in
+  let n, _ = Txn.recover ~wal_path:"/nonexistent/definitely/missing.wal" t in
+  Alcotest.(check int) "zero records" 0 n
+
+(* Recovery must also reproduce overflow commits (staged pages + pagemap). *)
+let test_recovery_with_page_splices () =
+  with_temp (fun dir ->
+      let wal_path = Filename.concat dir "log.wal" in
+      let mk () = Up.of_dom ~page_bits:2 ~fill:1.0 Testsupport.paper_doc in
+      let live = mk () in
+      let wal = Wal.open_log wal_path in
+      let m = Txn.manager ~wal live in
+      for i = 1 to 5 do
+        Txn.with_write m (fun v ->
+            U.insert v (U.Last_child (node_pre v "//g"))
+              (P.parse_fragment (Printf.sprintf "<w i='%d'><x/><y/></w>" i)))
+      done;
+      Wal.close wal;
+      let recovered = mk () in
+      let n, _ = Txn.recover ~wal_path recovered in
+      Alcotest.(check int) "five records" 5 n;
+      check_integrity recovered;
+      Alcotest.(check bool) "pagemap no longer identity" false
+        (Column.Pagemap.is_identity (Up.pagemap recovered));
+      Alcotest.check doc "equal documents"
+        (Ser.to_dom (View.direct live))
+        (Ser.to_dom (View.direct recovered)))
+
+let () =
+  Alcotest.run "wal"
+    [ ( "codec",
+        [ Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "corrupt payload" `Quick test_record_corrupt;
+          QCheck_alcotest.to_alcotest prop_record_roundtrip ] );
+      ( "recovery",
+        [ Alcotest.test_case "replay reproduces document" `Quick
+            test_wal_replay_reproduces_document;
+          Alcotest.test_case "checkpoint + wal cycle" `Quick test_checkpoint_recover_cycle;
+          Alcotest.test_case "torn tail keeps prefix" `Quick
+            test_torn_wal_tail_recovers_prefix;
+          Alcotest.test_case "missing wal" `Quick test_missing_wal_is_empty;
+          Alcotest.test_case "page splices replayed" `Quick test_recovery_with_page_splices ] ) ]

@@ -1,0 +1,204 @@
+(* XML substrate tests: qnames, DOM edits, parser, serialiser. *)
+
+module Dom = Xml.Dom
+module Qname = Xml.Qname
+module P = Xml.Xml_parser
+module S = Xml.Xml_serialize
+
+let doc = Alcotest.testable Dom.pp Dom.equal
+
+(* -------------------------------------------------------------- qname -- *)
+
+let test_qname () =
+  let q = Qname.of_string "xupdate:remove" in
+  Alcotest.(check string) "prefix" "xupdate" q.Qname.prefix;
+  Alcotest.(check string) "local" "remove" q.Qname.local;
+  Alcotest.(check string) "to_string" "xupdate:remove" (Qname.to_string q);
+  Alcotest.(check string) "no prefix" "item" (Qname.to_string (Qname.of_string "item"));
+  Alcotest.check_raises "empty" (Invalid_argument "Qname.make: empty local name")
+    (fun () -> ignore (Qname.of_string ""));
+  Alcotest.check_raises "double colon" (Invalid_argument "Qname.of_string: malformed \"a:b:c\"")
+    (fun () -> ignore (Qname.of_string "a:b:c"))
+
+(* ---------------------------------------------------------------- dom -- *)
+
+let abc = P.parse "<a><b/><c>text</c></a>"
+
+let test_dom_measures () =
+  Alcotest.(check int) "node_count" 4 (Dom.node_count abc);
+  Alcotest.(check int) "depth" 2 (Dom.depth abc);
+  let psl = Dom.pre_size_level abc in
+  Alcotest.(check (array (triple int int int)))
+    "pre/size/level" [| (0, 3, 0); (1, 0, 1); (2, 1, 1); (3, 0, 2) |] psl
+
+let test_dom_paper_example () =
+  (* Figure 2: sizes and levels of the a..j tree. *)
+  let psl = Dom.pre_size_level Testsupport.paper_doc in
+  let expected =
+    [| (0, 9, 0); (1, 3, 1); (2, 2, 2); (3, 0, 3); (4, 0, 3);
+       (5, 4, 1); (6, 0, 2); (7, 2, 2); (8, 0, 3); (9, 0, 3) |]
+  in
+  Alcotest.(check (array (triple int int int))) "figure 2 encoding" expected psl;
+  (* post = pre + size - level reproduces the pre/post plane *)
+  let posts = Array.map (fun (pre, size, level) -> pre + size - level) psl in
+  Alcotest.(check (array int)) "post ranks" [| 9; 3; 2; 0; 1; 8; 4; 7; 5; 6 |] posts
+
+let test_dom_edits () =
+  let d = P.parse "<a><b/><c/></a>" in
+  let d' = Dom.insert_children d [] ~at:1 [ Dom.element "x" ] in
+  Alcotest.check doc "insert middle" (P.parse "<a><b/><x/><c/></a>") d';
+  let d'' = Dom.remove_at d' [ 0 ] in
+  Alcotest.check doc "remove" (P.parse "<a><x/><c/></a>") d'';
+  let d3 = Dom.insert_children d'' [ 1 ] ~at:0 [ Dom.text "hi" ] in
+  Alcotest.check doc "insert under child" (P.parse "<a><x/><c>hi</c></a>") d3;
+  let d4 = Dom.replace_at d3 [ 0 ] (Dom.element "y") in
+  Alcotest.check doc "replace" (P.parse "<a><y/><c>hi</c></a>") d4;
+  Alcotest.check_raises "remove root" (Invalid_argument "Dom.remove_at: cannot remove the root")
+    (fun () -> ignore (Dom.remove_at d []))
+
+let test_dom_node_at () =
+  let d = P.parse "<a><b><c/></b></a>" in
+  (match Dom.node_at d [ 0; 0 ] with
+  | Dom.Element e -> Alcotest.(check string) "path" "c" (Qname.to_string e.Dom.name)
+  | _ -> Alcotest.fail "expected element");
+  Alcotest.check_raises "dangling" Not_found (fun () -> ignore (Dom.node_at d [ 3 ]))
+
+(* ------------------------------------------------------------- parser -- *)
+
+let test_parse_basic () =
+  let d = P.parse "<r a=\"1\" b='two'><k/>mixed<!--note--><?go fast?></r>" in
+  let r = d.Dom.root in
+  Alcotest.(check int) "attrs" 2 (List.length r.Dom.attrs);
+  (match r.Dom.children with
+  | [ Dom.Element k; Dom.Text "mixed"; Dom.Comment "note"; Dom.Pi { target = "go"; data = "fast" } ]
+    ->
+    Alcotest.(check string) "empty element" "k" (Qname.to_string k.Dom.name)
+  | _ -> Alcotest.fail "unexpected children")
+
+let test_parse_entities () =
+  let d = P.parse "<r>&lt;&amp;&gt;&#65;&#x42;&quot;&apos;</r>" in
+  match d.Dom.root.Dom.children with
+  | [ Dom.Text t ] -> Alcotest.(check string) "decoded" "<&>AB\"'" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_parse_cdata_doctype_decl () =
+  let d =
+    P.parse
+      "<?xml version=\"1.0\"?><!DOCTYPE r [<!ELEMENT r ANY>]><r><![CDATA[<raw&stuff>]]></r>"
+  in
+  match d.Dom.root.Dom.children with
+  | [ Dom.Text t ] -> Alcotest.(check string) "cdata verbatim" "<raw&stuff>" t
+  | _ -> Alcotest.fail "expected cdata text"
+
+let test_parse_strip_ws () =
+  let d = P.parse ~strip_ws:true "<r>\n  <a/>\n  <b/>\n</r>" in
+  Alcotest.(check int) "only elements" 2 (List.length d.Dom.root.Dom.children)
+
+let expect_error src =
+  match P.parse src with
+  | _ -> Alcotest.failf "expected parse error for %s" src
+  | exception P.Parse_error _ -> ()
+
+let test_parse_errors () =
+  expect_error "<a><b></a>";
+  expect_error "<a>";
+  expect_error "no markup";
+  expect_error "<a/><b/>";
+  expect_error "<a x='1' x='2'/>";
+  expect_error "<a>&unknown;</a>";
+  expect_error "<a x=1/>";
+  expect_error "<1bad/>"
+
+let test_parse_error_position () =
+  match P.parse "<a>\n<b></c>\n</a>" with
+  | _ -> Alcotest.fail "expected error"
+  | exception P.Parse_error { line; col = _; msg } ->
+    Alcotest.(check int) "line" 2 line;
+    Alcotest.(check bool) "message mentions tags" true
+      (String.length msg > 0)
+
+(* --------------------------------------------------------- serialiser -- *)
+
+let test_serialize_roundtrip () =
+  let src = "<r a=\"x&amp;y\"><k>one</k><!--c--><?p d?>two &lt;3</r>" in
+  let d = P.parse src in
+  let out = S.to_string d in
+  Alcotest.check doc "reparse equals" d (P.parse out)
+
+let test_serialize_escaping () =
+  let d = Dom.doc { Dom.name = Qname.make "r";
+                    attrs = [ (Qname.make "a", "<\"&>") ];
+                    children = [ Dom.Text "a<b&c>d" ] } in
+  let out = S.to_string d in
+  Alcotest.check doc "escapes roundtrip" d (P.parse out)
+
+let test_parse_deep_nesting () =
+  (* a pathological 5000-deep chain must parse, shred and serialise *)
+  let depth = 5000 in
+  let b = Buffer.create (depth * 7) in
+  for i = 0 to depth - 1 do
+    Buffer.add_string b (Printf.sprintf "<d%d>" (i mod 10))
+  done;
+  Buffer.add_string b "x";
+  for i = depth - 1 downto 0 do
+    Buffer.add_string b (Printf.sprintf "</d%d>" (i mod 10))
+  done;
+  let d = P.parse (Buffer.contents b) in
+  Alcotest.(check int) "node count" (depth + 1) (Dom.node_count d);
+  Alcotest.(check int) "depth" depth (Dom.depth d);
+  let t = Core.Schema_ro.of_dom d in
+  Alcotest.(check int) "shreds" (depth + 1) (Core.Schema_ro.extent t)
+
+let test_parse_attr_entities () =
+  let d = P.parse "<a k='&lt;&amp;&#65;'/>" in
+  Alcotest.(check (option string)) "decoded in attr" (Some "<&A")
+    (List.assoc_opt (Qname.make "k") d.Dom.root.Dom.attrs)
+
+let test_parse_wide_unicode_refs () =
+  let d = P.parse "<a>&#xE9;&#x4E2D;&#x1F600;</a>" in
+  match d.Dom.root.Dom.children with
+  | [ Dom.Text t ] ->
+    Alcotest.(check string) "utf8 encodings" "\xc3\xa9\xe4\xb8\xad\xf0\x9f\x98\x80" t
+  | _ -> Alcotest.fail "expected text"
+
+let test_normalize () =
+  let d =
+    Dom.doc
+      { Dom.name = Qname.make "r";
+        attrs = [];
+        children = [ Dom.Text "a"; Dom.Text ""; Dom.Text "b"; Dom.element "k";
+                     Dom.Text "c" ] }
+  in
+  let n = Dom.normalize d in
+  match n.Dom.root.Dom.children with
+  | [ Dom.Text "ab"; Dom.Element _; Dom.Text "c" ] -> ()
+  | _ -> Alcotest.fail "normalisation shape"
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse . serialise = identity on random documents"
+    ~count:300 ~print:Testsupport.print_doc Testsupport.gen_doc (fun d ->
+      Dom.equal d (P.parse (S.to_string d)))
+
+let () =
+  Alcotest.run "xml"
+    [ ("qname", [ Alcotest.test_case "parse/print" `Quick test_qname ]);
+      ( "dom",
+        [ Alcotest.test_case "measures" `Quick test_dom_measures;
+          Alcotest.test_case "paper figure 2" `Quick test_dom_paper_example;
+          Alcotest.test_case "structural edits" `Quick test_dom_edits;
+          Alcotest.test_case "node_at" `Quick test_dom_node_at ] );
+      ( "parser",
+        [ Alcotest.test_case "elements/attrs/mixed" `Quick test_parse_basic;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata + doctype + decl" `Quick test_parse_cdata_doctype_decl;
+          Alcotest.test_case "strip_ws" `Quick test_parse_strip_ws;
+          Alcotest.test_case "malformed input" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_parse_error_position;
+          Alcotest.test_case "deep nesting" `Quick test_parse_deep_nesting;
+          Alcotest.test_case "entities in attributes" `Quick test_parse_attr_entities;
+          Alcotest.test_case "wide unicode references" `Quick test_parse_wide_unicode_refs;
+          Alcotest.test_case "normalize" `Quick test_normalize ] );
+      ( "serialiser",
+        [ Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_serialize_escaping;
+          QCheck_alcotest.to_alcotest prop_roundtrip ] ) ]

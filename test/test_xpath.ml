@@ -1,0 +1,94 @@
+(* XPath parser tests. *)
+
+open Xpath.Xpath_ast
+module P = Xpath.Xpath_parser
+
+let parses src expected =
+  Alcotest.(check string) src expected (to_string (P.parse src))
+
+let test_abbreviations () =
+  parses "/a/b" "/child::a/child::b";
+  parses "a" "child::a";
+  parses "//b" "/descendant-or-self::node()/child::b";
+  parses "a//b" "child::a/descendant-or-self::node()/child::b";
+  parses "." "self::node()";
+  parses ".." "parent::node()";
+  parses "@id" "attribute::id";
+  parses "/*" "/child::*";
+  parses "/" "/"
+
+let test_explicit_axes () =
+  parses "/descendant::item" "/descendant::item";
+  parses "ancestor-or-self::x" "ancestor-or-self::x";
+  parses "following-sibling::*" "following-sibling::*";
+  parses "preceding::comment()" "preceding::comment()";
+  parses "self::processing-instruction('go')" "self::processing-instruction('go')"
+
+let test_kind_tests () =
+  parses "text()" "child::text()";
+  parses "node()" "child::node()";
+  parses "comment()" "child::comment()";
+  (* an element actually named text parses as a name test *)
+  parses "text" "child::text";
+  parses "a[3]" "child::a[3]";
+  parses "a[last()]" "child::a[last()]"
+
+let test_predicate_shapes () =
+  (match (P.parse "a[@id='x']").steps with
+  | [ { preds = [ Cmp (Path_string p, Eq, Lit_str "x") ]; _ } ] ->
+    Alcotest.(check string) "attr path" "attribute::id" (to_string p)
+  | _ -> Alcotest.fail "predicate shape");
+  (match (P.parse "a[2]").steps with
+  | [ { preds = [ Pos 2 ]; _ } ] -> ()
+  | _ -> Alcotest.fail "positional");
+  (match (P.parse "a[b and not(c)]").steps with
+  | [ { preds = [ And (Exists _, Not (Exists _)) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "boolean connectives");
+  (match (P.parse "a[contains(., 'xy')]").steps with
+  | [ { preds = [ Contains (Ctx_string, Lit_str "xy") ]; _ } ] -> ()
+  | _ -> Alcotest.fail "contains");
+  (match (P.parse "a[count(b) > 2]").steps with
+  | [ { preds = [ Cmp (Count _, Gt, Lit_num 2.0) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "count");
+  (match (P.parse "a[price < 10.5 or price >= 20]").steps with
+  | [ { preds = [ Or (Cmp (_, Lt, Lit_num 10.5), Cmp (_, Ge, Lit_num 20.0)) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "or comparison");
+  (match (P.parse "a[./text() != 'v']").steps with
+  | [ { preds = [ Cmp (Path_string _, Neq, Lit_str "v") ]; _ } ] -> ()
+  | _ -> Alcotest.fail "dot-path");
+  match (P.parse "item[3][@id]").steps with
+  | [ { preds = [ Pos 3; Exists _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "stacked predicates"
+
+let expect_error src =
+  match P.parse src with
+  | p -> Alcotest.failf "expected syntax error for %s, got %s" src (to_string p)
+  | exception P.Syntax_error _ -> ()
+
+let test_errors () =
+  expect_error "";
+  expect_error "/a/";
+  expect_error "a[";
+  expect_error "a[]";
+  expect_error "a[1.5]";
+  expect_error "a['lonely literal']";
+  expect_error "a[.]";
+  expect_error "bogus::x";
+  expect_error "a[@id='unterminated]";
+  expect_error "a]";
+  expect_error "a[not b]"
+
+let test_deep_path () =
+  let p = P.parse "/site/people/person[@id='p0']/name/text()" in
+  Alcotest.(check int) "5 steps" 5 (List.length p.steps);
+  Alcotest.(check bool) "absolute" true p.absolute
+
+let () =
+  Alcotest.run "xpath"
+    [ ( "parser",
+        [ Alcotest.test_case "abbreviations" `Quick test_abbreviations;
+          Alcotest.test_case "explicit axes" `Quick test_explicit_axes;
+          Alcotest.test_case "kind tests" `Quick test_kind_tests;
+          Alcotest.test_case "predicate shapes" `Quick test_predicate_shapes;
+          Alcotest.test_case "syntax errors" `Quick test_errors;
+          Alcotest.test_case "deep path" `Quick test_deep_path ] ) ]

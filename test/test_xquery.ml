@@ -1,0 +1,265 @@
+(* XQuery subset tests: parser shapes, evaluator semantics, FLWOR on XMark
+   documents, agreement across storage schemas. *)
+
+module Ro = Core.Schema_ro
+module Up = Core.Schema_up
+module Xq_ro = Xquery.Xq_eval.Make (Core.Schema_ro)
+module Xq_up = Xquery.Xq_eval.Make (Core.Schema_up)
+open Xquery.Xq_ast
+
+let ro = lazy (Ro.of_dom Testsupport.small_doc)
+
+let q src = Xq_ro.run_string (Lazy.force ro) src
+
+let check_q name expected src = Alcotest.(check string) name expected (q src)
+
+(* -------------------------------------------------------------- parser -- *)
+
+let test_parse_flwor_shape () =
+  match Xquery.Xq_parser.parse
+          "for $p in /site/people/person let $n := $p/name where $p/age > 40 \
+           order by $n descending return $n"
+  with
+  | Flwor ([ For ("p", None, Path (None, _)); Let ("n", Path (Some (Var "p"), _));
+             Where (Binop (Gt, _, Num_lit 40.0));
+             Order_by (Var "n", `Desc) ],
+           Var "n") -> ()
+  | e -> Alcotest.failf "unexpected shape: %s" (to_string e)
+
+let test_parse_constructor_shape () =
+  match Xquery.Xq_parser.parse
+          {|<out total="{count(//person)}">static {1 + 2} <inner/></out>|}
+  with
+  | Elem (name, [ (a, [ Aexpr (Call ("count", _)) ]) ],
+          [ Ctext "static "; Cexpr (Binop (Add, _, _)); Cexpr (Elem _) ]) ->
+    Alcotest.(check string) "name" "out" (Xml.Qname.to_string name);
+    Alcotest.(check string) "attr" "total" (Xml.Qname.to_string a)
+  | e -> Alcotest.failf "unexpected shape: %s" (to_string e)
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Xquery.Xq_parser.parse src with
+      | e -> Alcotest.failf "expected error for %s, got %s" src (to_string e)
+      | exception Xquery.Xq_parser.Syntax_error _ -> ())
+    [ "for $x in"; "let $x = 3 return $x"; "if (1) then 2"; "1 +"; "<a><b></a>";
+      "$"; "f(1,"; "for $x in //a"; "" ]
+
+(* ----------------------------------------------------------- evaluator -- *)
+
+let test_atomics_and_arithmetic () =
+  check_q "number" "3" "1 + 2";
+  check_q "precedence" "7" "1 + 2 * 3";
+  check_q "div" "2.5" "5 div 2";
+  check_q "mod" "1" "7 mod 2";
+  check_q "neg" "-4" "-(2 + 2)";
+  check_q "string lit" "hi" "'hi'";
+  check_q "sequence" "1 2 3" "(1, 2, 3)";
+  check_q "empty" "" "()";
+  check_q "comparison numeric" "true" "2 < 10";
+  check_q "string compare" "true" "'abc' lt 'abd'";
+  check_q "and or" "true" "1 = 1 and (2 > 3 or 1 <= 1)"
+
+let test_paths_and_vars () =
+  check_q "path" "<name>Ada</name>" "/site/people/person[1]/name";
+  check_q "var path" "Ada Grace Edsger"
+    "for $p in /site/people/person return string($p/name)";
+  check_q "double slash from var" "shiny"
+    "for $i in /site/items return string($i//b)";
+  check_q "attribute" "p0" "string(/site/people/person[1]/@id)";
+  check_q "where filter" "Grace"
+    "for $p in /site/people/person where $p/age > 40 return string($p/name)"
+
+let test_flwor_features () =
+  check_q "let" "72" "let $x := 36 return $x * 2";
+  check_q "nested for (cartesian)" "4"
+    "count(for $a in (1, 2) for $b in (1, 2) return $a)";
+  check_q "order by string" "Ada Edsger Grace"
+    "for $p in /site/people/person order by $p/name return string($p/name)";
+  check_q "order by numeric desc" "45 36"
+    "for $a in /site/people/person/age order by number($a) descending return string($a)";
+  check_q "if" "cheap" "if (/site/items/item[1]/price > 100) then 'pricey' else 'cheap'";
+  check_q "where with function" "2"
+    "count(for $p in /site/people/person where exists($p/age) return $p)";
+  check_q "positional at-clause" "1:Ada 2:Grace"
+    "for $p at $i in /site/people/person where $i <= 2 \
+     return concat($i, ':', string($p/name))";
+  check_q "at after order is bind order" "Ada"
+    "for $p at $i in /site/people/person where $i = 1 return string($p/name)"
+
+let test_functions () =
+  check_q "count" "3" "count(//person)";
+  check_q "sum" "81" "sum(/site/people/person/age)";
+  check_q "avg" "40.5" "avg(//age)";
+  check_q "min max" "36 45" "(min(//age), max(//age))";
+  check_q "contains" "true" "contains(string(//desc), 'shiny')";
+  check_q "concat" "Ada+Grace" "concat('Ada', '+', 'Grace')";
+  check_q "string-join" "p0,p1,p2" "string-join(//person/@id, ',')";
+  check_q "distinct-values" "2" "count(distinct-values((1, 2, 1, 2)))";
+  check_q "not/empty" "true false" "(not(empty(//person)), empty(//person))";
+  check_q "string-length" "3" "string-length('Ada')";
+  check_q "round floor ceiling" "3 2 3" "(round(2.6), floor(2.6), ceiling(2.2))";
+  check_q "starts-with" "true" "starts-with('person0', 'person')";
+  match Xq_ro.run (Lazy.force ro) "frobnicate(1)" with
+  | _ -> Alcotest.fail "expected unknown function error"
+  | exception Xq_ro.Error m ->
+    Alcotest.(check bool) "message" true (String.length m > 0)
+
+let test_constructors () =
+  check_q "static" "<r><k/></r>" "<r><k/></r>";
+  check_q "computed content" "<r>3</r>" "<r>{1 + 2}</r>";
+  check_q "computed attr" {|<r n="3"/>|} {|<r n="{1 + 2}"/>|};
+  check_q "node copy" "<r><name>Ada</name></r>" "<r>{/site/people/person[1]/name}</r>";
+  check_q "atomics join with spaces" "<r>1 2 3</r>" "<r>{(1, 2, 3)}</r>";
+  check_q "nested flwor" "<list><p>Ada</p><p>Grace</p><p>Edsger</p></list>"
+    "<list>{for $p in //person return <p>{string($p/name)}</p>}</list>"
+
+let test_dynamic_errors () =
+  List.iter
+    (fun src ->
+      match Xq_ro.run (Lazy.force ro) src with
+      | _ -> Alcotest.failf "expected dynamic error for %s" src
+      | exception Xq_ro.Error _ -> ())
+    [ "$nope"; "'a' + 1"; "count(1, 2)"; "sum(//name)"; "(1, 2) * 3";
+      "for $x in (1, 2) return $x/foo" ]
+
+(* ------------------------------------------------ XMark queries as text -- *)
+
+let xmark_doc = lazy (Xmark.Gen.of_scale 0.002)
+
+module Q_ro = Xmark.Queries.Make (Core.Schema_ro)
+
+let test_xmark_q1_as_xquery () =
+  let t = Ro.of_dom (Lazy.force xmark_doc) in
+  let via_xquery =
+    Xq_ro.run_string t
+      "for $b in /site/people/person[@id='person0'] return string($b/name)"
+  in
+  Alcotest.(check bool) "non-empty" true (String.length via_xquery > 0);
+  (* the hand-written plan agrees *)
+  let r = Q_ro.run t 1 in
+  Alcotest.(check int) "Q1 cardinality 1" 1 r.Xmark.Queries.cardinality
+
+let test_xmark_q5_as_xquery () =
+  let t = Ro.of_dom (Lazy.force xmark_doc) in
+  let via_xquery =
+    Xq_ro.run_string t
+      "count(for $i in /site/closed_auctions/closed_auction where $i/price >= 40 return $i)"
+  in
+  (* the hand-written plan computes the same aggregate *)
+  let expected =
+    Xq_ro.run_string t
+      "count(/site/closed_auctions/closed_auction[price >= 40])"
+  in
+  Alcotest.(check string) "FLWOR = path form" expected via_xquery
+
+let test_xmark_q20_as_xquery () =
+  let t = Ro.of_dom (Lazy.force xmark_doc) in
+  let out =
+    Xq_ro.run_string t
+      {|<result>
+          <rich>{count(/site/people/person/profile[@income >= 72000])}</rich>
+          <mid>{count(/site/people/person/profile[@income >= 45000 and @income < 72000])}</mid>
+        </result>|}
+  in
+  Alcotest.(check bool) "well-formed result" true
+    (String.length out > 0 && String.sub out 0 8 = "<result>");
+  (* reparse and cross-check against the generator's income distribution *)
+  let d = Xml.Xml_parser.parse out in
+  let total =
+    List.fold_left
+      (fun acc n ->
+        match n with
+        | Xml.Dom.Element e ->
+          acc
+          + int_of_string
+              (String.concat ""
+                 (List.filter_map
+                    (function Xml.Dom.Text s -> Some s | _ -> None)
+                    e.Xml.Dom.children))
+        | _ -> acc)
+      0 d.Xml.Dom.root.Xml.Dom.children
+  in
+  Alcotest.(check bool) "some people counted" true (total > 0)
+
+(* every XMark query text parses, runs on both schemas with equal output,
+   and (except the documented approximation) matches the hand-written plan's
+   cardinality *)
+let test_xmark_all_twenty_texts () =
+  let d = Lazy.force xmark_doc in
+  let ro = Ro.of_dom d and up = Up.of_dom ~fill:0.8 d in
+  for i = 1 to 20 do
+    let src = Xmark.Xqueries.text i in
+    let v_ro = Xq_ro.run ro src in
+    let v_up = Xq_up.run up src in
+    Alcotest.(check string)
+      (Printf.sprintf "Q%d schemas agree" i)
+      (Xq_ro.serialize ro v_ro) (Xq_up.serialize up v_up);
+    if not (Xmark.Xqueries.approximate i) then begin
+      let plan = Q_ro.run ro i in
+      Alcotest.(check int)
+        (Printf.sprintf "Q%d text cardinality = plan cardinality" i)
+        plan.Xmark.Queries.cardinality (List.length v_ro)
+    end
+  done
+
+let test_schemas_agree () =
+  let d = Lazy.force xmark_doc in
+  let ro = Ro.of_dom d and up = Up.of_dom ~fill:0.8 d in
+  List.iter
+    (fun src ->
+      Alcotest.(check string) src (Xq_ro.run_string ro src) (Xq_up.run_string up src))
+    [ "count(//item)";
+      "for $p in /site/people/person where $p/profile/@income > 60000 \
+       order by $p/name return <n>{string($p/name)}</n>";
+      "sum(for $a in /site/open_auctions/open_auction return number($a/initial))";
+      "string-join(distinct-values(//region-or-whatever), ',')";
+      "for $c in /site/regions/* return concat(name($c), ':', string(count($c/item)))" ]
+
+(* queries keep answering consistently while the store is churned by
+   structural updates and then vacuumed *)
+let test_queries_survive_churn_and_vacuum () =
+  let d = Lazy.force xmark_doc in
+  let up = Up.of_dom ~page_bits:5 ~fill:0.9 d in
+  let stable_queries =
+    [ "count(/site/regions/*/item)";
+      "for $p in /site/people/person[@id='person0'] return string($p/name)";
+      "string-join(for $r in /site/regions/* return name($r), ',')" ]
+  in
+  let baseline = List.map (Xq_up.run_string up) stable_queries in
+  let applied = Xmark.Workload.churn up ~ops:300 ~seed:99 in
+  Alcotest.(check bool) "churn applied" true (applied > 200);
+  List.iter2
+    (fun q expect ->
+      Alcotest.(check string) ("after churn: " ^ q) expect (Xq_up.run_string up q))
+    stable_queries baseline;
+  Up.compact ~fill:0.8 up;
+  (match Up.check_integrity up with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "integrity after vacuum: %s" m);
+  List.iter2
+    (fun q expect ->
+      Alcotest.(check string) ("after vacuum: " ^ q) expect (Xq_up.run_string up q))
+    stable_queries baseline
+
+let () =
+  Alcotest.run "xquery"
+    [ ( "parser",
+        [ Alcotest.test_case "flwor shape" `Quick test_parse_flwor_shape;
+          Alcotest.test_case "constructor shape" `Quick test_parse_constructor_shape;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors ] );
+      ( "eval",
+        [ Alcotest.test_case "atomics and arithmetic" `Quick test_atomics_and_arithmetic;
+          Alcotest.test_case "paths and variables" `Quick test_paths_and_vars;
+          Alcotest.test_case "flwor features" `Quick test_flwor_features;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "dynamic errors" `Quick test_dynamic_errors ] );
+      ( "xmark",
+        [ Alcotest.test_case "Q1 as query text" `Quick test_xmark_q1_as_xquery;
+          Alcotest.test_case "Q5 as query text" `Quick test_xmark_q5_as_xquery;
+          Alcotest.test_case "Q20 as query text" `Quick test_xmark_q20_as_xquery;
+          Alcotest.test_case "all twenty query texts" `Quick test_xmark_all_twenty_texts;
+          Alcotest.test_case "schemas agree" `Quick test_schemas_agree;
+          Alcotest.test_case "churn and vacuum" `Quick
+            test_queries_survive_churn_and_vacuum ] ) ]
