@@ -588,4 +588,13 @@ let () =
   if want "ordpath" then run_ordpath ();
   if want "rdbms" then
     run_rdbms ~scale:(List.fold_left max 0.0005 !scales /. 5.0) ~quota:!quota;
-  if want "storage" then run_storage ~scales:!scales
+  if want "storage" then run_storage ~scales:!scales;
+  (* Dump the metrics registry the whole run accumulated, so benchmark
+     numbers come with the matching operation counts (txn.commits, wal.bytes,
+     schema_up.page_overflows, ...). *)
+  let obs_out = "BENCH_obs.json" in
+  let oc = open_out obs_out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.render_json (Obs.snapshot ())));
+  Printf.printf "\nmetrics registry written to %s\n" obs_out

@@ -1,6 +1,7 @@
 (* xqdb — command-line front end to the updatable pre/post-plane XML store.
 
-   Subcommands: query, update, stats, xmark, checkpoint, recover. *)
+   Subcommands: query, xquery, update, stats, xmark, metrics, checkpoint,
+   recover. *)
 
 open Cmdliner
 
@@ -14,8 +15,22 @@ let write_file path s =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
+(* Malformed XML input is an expected user error, not a crash: report
+   file:line:col and exit 1 (matching the XPath/XUpdate error handling). *)
+exception Parse_failed
+
+let parse_xml_file ~what path parse =
+  match parse (read_file path) with
+  | v -> v
+  | exception Xml.Xml_parser.Parse_error { line; col; msg } ->
+    Printf.eprintf "%s parse error: %s:%d:%d: %s\n" what path line col msg;
+    raise Parse_failed
+
+let protect_parse f = try f () with Parse_failed -> 1
+
 let load ?wal_path ~page_bits ~fill path =
-  Core.Db.of_xml ~page_bits ~fill ?wal_path (read_file path)
+  parse_xml_file ~what:"xml" path (fun src ->
+      Core.Db.of_xml ~page_bits ~fill ?wal_path src)
 
 (* common options *)
 let page_bits =
@@ -28,6 +43,31 @@ let fill =
 
 let doc_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"XML-FILE")
 
+(* ---------------------------------------------------------------- metrics *)
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Dump the metrics registry (as a table, to stderr) after the run.")
+
+let dump_metrics enabled =
+  if enabled then prerr_string (Obs.render_table (Obs.snapshot ()))
+
+type metrics_format = Table | Prometheus | Json
+
+let format_arg =
+  let doc = "Output format: $(b,table), $(b,prometheus) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("table", Table); ("prometheus", Prometheus); ("json", Json) ]) Table
+    & info [ "format" ] ~doc)
+
+let render_metrics = function
+  | Table -> Obs.render_table (Obs.snapshot ())
+  | Prometheus -> Obs.render_prometheus (Obs.snapshot ())
+  | Json -> Obs.render_json (Obs.snapshot ())
+
 (* ------------------------------------------------------------------ query *)
 
 let query_cmd =
@@ -35,51 +75,62 @@ let query_cmd =
   let count_only =
     Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print only the result count.")
   in
-  let run path xpath count_only page_bits fill =
-    let db = load ~page_bits ~fill path in
-    match Core.Db.query db xpath with
-    | items ->
-      if count_only then Printf.printf "%d\n" (List.length items)
-      else
-        Core.Db.read db (fun v ->
-            let module Ser = Core.Node_serialize.Make (Core.View) in
-            List.iter
-              (fun item ->
-                match item with
-                | Core.Db.E.Node pre -> print_endline (Ser.subtree_to_string v pre)
-                | Core.Db.E.Attribute { qn; value; _ } ->
-                  Printf.printf "%s=\"%s\"\n" (Xml.Qname.to_string qn) value)
-              items);
-      0
-    | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
-      Printf.eprintf "xpath error at offset %d: %s\n" pos msg;
-      1
+  let run path xpath count_only page_bits fill metrics =
+    protect_parse (fun () ->
+        let db = load ~page_bits ~fill path in
+        let code =
+          match Core.Db.query db xpath with
+          | items ->
+            if count_only then Printf.printf "%d\n" (List.length items)
+            else
+              Core.Db.read db (fun v ->
+                  let module Ser = Core.Node_serialize.Make (Core.View) in
+                  List.iter
+                    (fun item ->
+                      match item with
+                      | Core.Db.E.Node pre -> print_endline (Ser.subtree_to_string v pre)
+                      | Core.Db.E.Attribute { qn; value; _ } ->
+                        Printf.printf "%s=\"%s\"\n" (Xml.Qname.to_string qn) value)
+                    items);
+            0
+          | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
+            Printf.eprintf "xpath error at offset %d: %s\n" pos msg;
+            1
+        in
+        dump_metrics metrics;
+        code)
   in
   let info = Cmd.info "query" ~doc:"Evaluate an XPath expression over a document." in
-  Cmd.v info Term.(const run $ doc_arg $ xpath $ count_only $ page_bits $ fill)
+  Cmd.v info
+    Term.(const run $ doc_arg $ xpath $ count_only $ page_bits $ fill $ metrics_flag)
 
 (* ----------------------------------------------------------------- xquery *)
 
 let xquery_cmd =
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
-  let run path query page_bits fill =
-    let db = load ~page_bits ~fill path in
-    let module Xq = Xquery.Xq_eval.Make (Core.View) in
-    match Core.Db.read db (fun v -> Xq.run_string v query) with
-    | out ->
-      print_endline out;
-      0
-    | exception Xquery.Xq_parser.Syntax_error { pos; msg } ->
-      Printf.eprintf "xquery syntax error at offset %d: %s\n" pos msg;
-      1
-    | exception Xq.Error msg ->
-      Printf.eprintf "xquery error: %s\n" msg;
-      1
+  let run path query page_bits fill metrics =
+    protect_parse (fun () ->
+        let db = load ~page_bits ~fill path in
+        let module Xq = Xquery.Xq_eval.Make (Core.View) in
+        let code =
+          match Core.Db.read db (fun v -> Xq.run_string v query) with
+          | out ->
+            print_endline out;
+            0
+          | exception Xquery.Xq_parser.Syntax_error { pos; msg } ->
+            Printf.eprintf "xquery syntax error at offset %d: %s\n" pos msg;
+            1
+          | exception Xq.Error msg ->
+            Printf.eprintf "xquery error: %s\n" msg;
+            1
+        in
+        dump_metrics metrics;
+        code)
   in
   let info =
     Cmd.info "xquery" ~doc:"Evaluate an XQuery (FLWOR subset) over a document."
   in
-  Cmd.v info Term.(const run $ doc_arg $ query $ page_bits $ fill)
+  Cmd.v info Term.(const run $ doc_arg $ query $ page_bits $ fill $ metrics_flag)
 
 (* ----------------------------------------------------------------- update *)
 
@@ -91,26 +142,49 @@ let update_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
            ~doc:"Write the updated document here (default: stdout).")
   in
-  let run path xupdate output page_bits fill =
-    let db = load ~page_bits ~fill path in
-    match Core.Db.update db (read_file xupdate) with
-    | n ->
-      Printf.eprintf "%d target(s) updated\n" n;
-      let xml = Core.Db.to_xml db in
-      (match output with None -> print_endline xml | Some out -> write_file out xml);
-      0
-    | exception Core.Xupdate.Parse_error m | exception Core.Xupdate.Apply_error m ->
-      Printf.eprintf "xupdate error: %s\n" m;
-      1
+  let wal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"WAL"
+          ~doc:"Append commit records to this write-ahead log file.")
+  in
+  let run path xupdate output wal page_bits fill metrics =
+    protect_parse (fun () ->
+        let db = load ?wal_path:wal ~page_bits ~fill path in
+        let code =
+          match
+            let src =
+              parse_xml_file ~what:"xupdate" xupdate (fun src ->
+                  (* parse eagerly so malformed XUpdate XML reports
+                     file:line:col like any other input file *)
+                  ignore (Xml.Xml_parser.parse src);
+                  src)
+            in
+            Core.Db.update db src
+          with
+          | n ->
+            Printf.eprintf "%d target(s) updated\n" n;
+            let xml = Core.Db.to_xml db in
+            (match output with None -> print_endline xml | Some out -> write_file out xml);
+            0
+          | exception Core.Xupdate.Parse_error m | exception Core.Xupdate.Apply_error m ->
+            Printf.eprintf "xupdate error: %s\n" m;
+            1
+        in
+        Core.Db.close db;
+        dump_metrics metrics;
+        code)
   in
   let info = Cmd.info "update" ~doc:"Apply an XUpdate document transactionally." in
-  Cmd.v info Term.(const run $ doc_arg $ xupdate $ output $ page_bits $ fill)
+  Cmd.v info
+    Term.(const run $ doc_arg $ xupdate $ output $ wal $ page_bits $ fill $ metrics_flag)
 
 (* ------------------------------------------------------------------ stats *)
 
 let stats_cmd =
   let run path page_bits fill =
-    let d = Xml.Xml_parser.parse ~strip_ws:true (read_file path) in
+    protect_parse @@ fun () ->
+    let d = parse_xml_file ~what:"xml" path (Xml.Xml_parser.parse ~strip_ws:true) in
     let ro = Core.Schema_ro.of_dom d in
     let up = Core.Schema_up.of_dom ~page_bits ~fill d in
     let sro = Core.Schema_ro.stats ro and sup = Core.Schema_up.stats up in
@@ -143,20 +217,97 @@ let xmark_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
            ~doc:"Output XML file.")
   in
-  let run scale seed output =
+  let run scale seed output metrics =
     let d = Xmark.Gen.of_scale ~seed scale in
     write_file output (Xml.Xml_serialize.to_string ~decl:true d);
     Printf.eprintf "wrote %s: %d nodes\n" output (Xml.Dom.node_count d);
+    dump_metrics metrics;
     0
   in
   let info = Cmd.info "xmark" ~doc:"Generate an XMark-style auction document." in
-  Cmd.v info Term.(const run $ scale $ seed $ output)
+  Cmd.v info Term.(const run $ scale $ seed $ output $ metrics_flag)
+
+(* ---------------------------------------------------------------- metrics *)
+
+(* Load a document (with a throwaway WAL so wal.* instruments see real
+   traffic), run an optional workload, and expose the registry in the chosen
+   exposition format. *)
+let metrics_cmd =
+  let queries =
+    Arg.(
+      value & opt_all string []
+      & info [ "q"; "query" ] ~docv:"XPATH"
+          ~doc:"Evaluate this XPath (repeatable); result counts go to stderr.")
+  in
+  let updates =
+    Arg.(
+      value & opt_all file []
+      & info [ "u"; "update" ] ~docv:"XUPDATE-FILE"
+          ~doc:"Apply this XUpdate document (repeatable).")
+  in
+  let traces =
+    Arg.(
+      value & flag
+      & info [ "traces" ]
+          ~doc:"Also print the recorded span traces of the run (table format).")
+  in
+  let run path queries updates format traces page_bits fill =
+    protect_parse (fun () ->
+        let wal_path = Filename.temp_file "xqdb_metrics" ".wal" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove wal_path with Sys_error _ -> ())
+          (fun () ->
+            let db = load ~wal_path ~page_bits ~fill path in
+            let code = ref 0 in
+            List.iter
+              (fun q ->
+                match Core.Db.query_count db q with
+                | n -> Printf.eprintf "query %s: %d item(s)\n" q n
+                | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
+                  Printf.eprintf "xpath error at offset %d: %s\n" pos msg;
+                  code := 1)
+              queries;
+            List.iter
+              (fun u ->
+                match Core.Db.update db (read_file u) with
+                | n -> Printf.eprintf "update %s: %d target(s)\n" u n
+                | exception Xml.Xml_parser.Parse_error { line; col; msg } ->
+                  Printf.eprintf "xupdate parse error: %s:%d:%d: %s\n" u line col msg;
+                  code := 1
+                | exception Core.Xupdate.Parse_error m
+                | exception Core.Xupdate.Apply_error m ->
+                  Printf.eprintf "xupdate error: %s\n" m;
+                  code := 1)
+              updates;
+            Core.Db.close db;
+            print_string (render_metrics format);
+            if traces then begin
+              match Core.Db.recent_traces db with
+              | [] -> ()
+              | ts ->
+                print_newline ();
+                print_endline "recent traces (newest first):";
+                List.iter (fun t -> print_string (Obs.Span.render t)) ts
+            end;
+            !code))
+  in
+  let info =
+    Cmd.info "metrics"
+      ~doc:
+        "Shred a document, run an optional query/update workload, and print \
+         the full metrics registry (table, Prometheus or JSON)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ doc_arg $ queries $ updates $ format_arg $ traces $ page_bits
+      $ fill)
 
 (* ------------------------------------------------------ checkpoint/recover *)
 
 let checkpoint_cmd =
   let out = Arg.(required & pos 1 (some string) None & info [] ~docv:"CHECKPOINT") in
   let run path out page_bits fill =
+    protect_parse @@ fun () ->
     let db = load ~page_bits ~fill path in
     Core.Db.checkpoint db out;
     Printf.eprintf "checkpointed %s to %s\n" path out;
@@ -171,17 +322,30 @@ let recover_cmd =
     Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"WAL"
            ~doc:"WAL file (default: CHECKPOINT.wal).")
   in
-  let run ck wal =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT"
+           ~doc:"Write the recovered document here instead of stdout.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ]
+           ~doc:"Do not print the recovered document (summary still goes to stderr).")
+  in
+  let run ck wal output quiet =
     let db = Core.Db.open_recovered ?wal_path:wal ~checkpoint:ck () in
     (match Core.Schema_up.check_integrity (Core.Db.store db) with
     | Ok () -> Printf.eprintf "recovered: %d live nodes, integrity OK\n"
                  (Core.Schema_up.node_count (Core.Db.store db))
     | Error m -> Printf.eprintf "recovered but integrity FAILED: %s\n" m);
-    print_endline (Core.Db.to_xml db);
+    (match output with
+    | Some out -> write_file out (Core.Db.to_xml db)
+    | None -> if not quiet then print_endline (Core.Db.to_xml db));
     0
   in
-  let info = Cmd.info "recover" ~doc:"Recover a store from checkpoint + WAL and print it." in
-  Cmd.v info Term.(const run $ ck $ wal)
+  let info =
+    Cmd.info "recover"
+      ~doc:"Recover a store from checkpoint + WAL; print or save the document."
+  in
+  Cmd.v info Term.(const run $ ck $ wal $ output $ quiet)
 
 let () =
   let info =
@@ -190,4 +354,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ query_cmd; xquery_cmd; update_cmd; stats_cmd; xmark_cmd;
-                       checkpoint_cmd; recover_cmd ]))
+                       metrics_cmd; checkpoint_cmd; recover_cmd ]))

@@ -1,5 +1,16 @@
 type t = { pbits : int; log_to_phys : Varray.t; phys_to_log : Varray.t }
 
+let m_splices =
+  Obs.counter ~help:"pageOffset splice operations" "pagemap.splices"
+
+let m_spliced_pages =
+  Obs.counter ~help:"fresh pages inserted by splices" "pagemap.spliced_pages"
+
+let m_shifted =
+  Obs.histogram ~base:1.0 ~buckets:32
+    ~help:"logical pages renumbered per splice (the paper's O(N/pagesize) step)"
+    "pagemap.shifted_pages"
+
 let create ~bits =
   if bits < 1 || bits > 30 then invalid_arg "Pagemap.create: bits out of [1,30]";
   { pbits = bits; log_to_phys = Varray.create (); phys_to_log = Varray.create () }
@@ -24,6 +35,9 @@ let splice m ~at ~count =
   if count < 0 then invalid_arg "Pagemap.splice: bad count";
   if count = 0 then []
   else begin
+    Obs.inc m_splices;
+    Obs.add m_spliced_pages count;
+    Obs.observe m_shifted (float_of_int (n - at));
     (* Append fresh physical page ids, then rotate them into place. *)
     let fresh = List.init count (fun i -> n + i) in
     Varray.push_n m.log_to_phys count 0;

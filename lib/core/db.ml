@@ -53,8 +53,9 @@ let close t = Option.iter Wal.close t.wal_handle
 let read t f = Txn.read t.mgr f
 
 let query t src =
-  let path = Xpath.Xpath_parser.parse src in
-  read t (fun v -> E.eval_items v path)
+  Obs.Span.with_ "db.query" (fun () ->
+      let path = Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src) in
+      read t (fun v -> Obs.Span.with_ "engine.eval" (fun () -> E.eval_items v path)))
 
 let query_strings t src =
   let path = Xpath.Xpath_parser.parse src in
@@ -71,8 +72,10 @@ let with_write t f =
   Txn.with_write t.mgr ?validate f
 
 let update t src =
-  let cmds = Xupdate.parse src in
-  with_write t (fun v -> Xupdate.apply v cmds)
+  Obs.Span.with_ "db.update" (fun () ->
+      let cmds = Obs.Span.with_ "xupdate.parse" (fun () -> Xupdate.parse src) in
+      with_write t (fun v ->
+          Obs.Span.with_ "xupdate.apply" (fun () -> Xupdate.apply v cmds)))
 
 let vacuum ?fill ?checkpoint_to t =
   (match t.wal_handle, checkpoint_to with
@@ -82,3 +85,21 @@ let vacuum ?fill ?checkpoint_to t =
   | (Some _ | None), _ -> ());
   Txn.vacuum ?fill t.mgr;
   Option.iter (checkpoint t) checkpoint_to
+
+(* -------------------------------------------------------------- metrics -- *)
+
+(* The registry is process-global (instruments live in the subsystem modules,
+   not in [t]); these accessors exist so embedders can observe a store
+   without importing Obs directly. *)
+
+let metrics (_ : t) = Obs.snapshot ()
+
+let metrics_table t = Obs.render_table (metrics t)
+
+let metrics_json t = Obs.render_json (metrics t)
+
+let metrics_prometheus t = Obs.render_prometheus (metrics t)
+
+let reset_metrics (_ : t) = Obs.reset ()
+
+let recent_traces (_ : t) = Obs.Span.recent ()

@@ -78,3 +78,23 @@ val vacuum : ?fill:float -> ?checkpoint_to:string -> t -> unit
     invalidates WAL replay positions, so when a WAL is active a
     [checkpoint_to] path is required — the checkpoint is written immediately
     after compaction (raises [Invalid_argument] otherwise). *)
+
+(** {1 Observability}
+
+    The metrics registry is process-global (see {!Obs}): instruments live in
+    the subsystem modules ([txn.*], [lock.*], [wal.*], [schema_up.*],
+    [pagemap.*], [engine.*]), so these accessors report activity across every
+    store in the process. *)
+
+val metrics : t -> Obs.snapshot
+
+val metrics_table : t -> string
+
+val metrics_json : t -> string
+
+val metrics_prometheus : t -> string
+
+val reset_metrics : t -> unit
+
+val recent_traces : t -> Obs.Span.t list
+(** Recently completed query/update traces, newest first. *)

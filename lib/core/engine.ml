@@ -1,5 +1,53 @@
 open Xpath.Xpath_ast
 
+(* One counter per axis, shared by every Make instantiation (the registry
+   dedups by name+labels). Counting context nodes per step — not per result —
+   keeps the hot path at one atomic add per (step, context-list). *)
+let axis_counter name =
+  Obs.counter ~help:"context nodes fed through axis steps"
+    ~labels:[ ("axis", name) ]
+    "engine.axis_steps"
+
+let m_ax_child = axis_counter "child"
+
+let m_ax_descendant = axis_counter "descendant"
+
+let m_ax_descendant_or_self = axis_counter "descendant-or-self"
+
+let m_ax_self = axis_counter "self"
+
+let m_ax_parent = axis_counter "parent"
+
+let m_ax_ancestor = axis_counter "ancestor"
+
+let m_ax_ancestor_or_self = axis_counter "ancestor-or-self"
+
+let m_ax_following = axis_counter "following"
+
+let m_ax_preceding = axis_counter "preceding"
+
+let m_ax_following_sibling = axis_counter "following-sibling"
+
+let m_ax_preceding_sibling = axis_counter "preceding-sibling"
+
+let m_ax_attribute = axis_counter "attribute"
+
+let counter_of_axis = function
+  | Child -> m_ax_child
+  | Descendant -> m_ax_descendant
+  | Descendant_or_self -> m_ax_descendant_or_self
+  | Self -> m_ax_self
+  | Parent -> m_ax_parent
+  | Ancestor -> m_ax_ancestor
+  | Ancestor_or_self -> m_ax_ancestor_or_self
+  | Following -> m_ax_following
+  | Preceding -> m_ax_preceding
+  | Following_sibling -> m_ax_following_sibling
+  | Preceding_sibling -> m_ax_preceding_sibling
+  | Attribute -> m_ax_attribute
+
+let m_items = Obs.counter ~help:"items produced by path evaluations" "engine.items"
+
 module Make (S : Storage_intf.S) = struct
   module Sj = Staircase.Make (S)
 
@@ -65,6 +113,7 @@ module Make (S : Storage_intf.S) = struct
     match steps with
     | [] -> List.map (fun c -> Node c) ctxs
     | [ { axis = Attribute; test; preds } ] ->
+      Obs.add m_ax_attribute (List.length ctxs);
       let attrs =
         List.concat_map
           (fun ctx ->
@@ -87,6 +136,7 @@ module Make (S : Storage_intf.S) = struct
     | { axis = Attribute; _ } :: _ :: _ ->
       invalid_arg "Engine: attribute axis must be the final step"
     | { axis; test; preds } :: rest ->
+      Obs.add (counter_of_axis axis) (List.length ctxs);
       let out =
         List.concat_map
           (fun ctx ->
@@ -183,11 +233,16 @@ module Make (S : Storage_intf.S) = struct
       | Attribute _ -> [] (* no forward axes from attribute nodes *)
 
   let eval_items t ?context p =
-    if p.absolute then
-      if p.steps = [] then [ Node (S.root_pre t) ] else eval_steps t [ doc_node ] p.steps
-    else
-      let ctxs = match context with Some c -> c | None -> [ S.root_pre t ] in
-      eval_steps t ctxs p.steps
+    let items =
+      if p.absolute then
+        if p.steps = [] then [ Node (S.root_pre t) ]
+        else eval_steps t [ doc_node ] p.steps
+      else
+        let ctxs = match context with Some c -> c | None -> [ S.root_pre t ] in
+        eval_steps t ctxs p.steps
+    in
+    Obs.add m_items (List.length items);
+    items
 
   let eval_nodes t ?context p =
     List.map

@@ -1,5 +1,26 @@
 type page_state = { mutable readers : int list; mutable writer : int option }
 
+let acquisitions scope mode =
+  Obs.counter ~help:"lock acquisitions"
+    ~labels:[ ("scope", scope); ("mode", mode) ]
+    "lock.acquisitions"
+
+let m_global_read = acquisitions "global" "read"
+
+let m_global_write = acquisitions "global" "write"
+
+let m_page_read = acquisitions "page" "read"
+
+let m_page_write = acquisitions "page" "write"
+
+let m_wait =
+  Obs.histogram ~help:"time spent blocked waiting for a lock [s]"
+    "lock.wait_time"
+
+let m_would_deadlock =
+  Obs.counter ~help:"page-lock waits that hit the deadlock timeout"
+    "lock.would_deadlock"
+
 type t = {
   mu : Mutex.t;
   cond : Condition.t;
@@ -53,9 +74,14 @@ let locked t f =
 let with_global_read t f =
   locked t (fun () ->
       (* writer preference keeps commits short *)
-      while t.g_writer || t.g_waiting_writers > 0 do
-        Condition.wait t.cond t.mu
-      done;
+      if t.g_writer || t.g_waiting_writers > 0 then begin
+        let t0 = Obs.now () in
+        while t.g_writer || t.g_waiting_writers > 0 do
+          Condition.wait t.cond t.mu
+        done;
+        Obs.observe m_wait (Obs.now () -. t0)
+      end;
+      Obs.inc m_global_read;
       t.g_readers <- t.g_readers + 1);
   Fun.protect f ~finally:(fun () ->
       locked t (fun () ->
@@ -65,10 +91,15 @@ let with_global_read t f =
 let with_global_write t f =
   locked t (fun () ->
       t.g_waiting_writers <- t.g_waiting_writers + 1;
-      while t.g_writer || t.g_readers > 0 do
-        Condition.wait t.cond t.mu
-      done;
+      if t.g_writer || t.g_readers > 0 then begin
+        let t0 = Obs.now () in
+        while t.g_writer || t.g_readers > 0 do
+          Condition.wait t.cond t.mu
+        done;
+        Obs.observe m_wait (Obs.now () -. t0)
+      end;
       t.g_waiting_writers <- t.g_waiting_writers - 1;
+      Obs.inc m_global_write;
       t.g_writer <- true);
   Fun.protect f ~finally:(fun () ->
       locked t (fun () ->
@@ -94,7 +125,8 @@ let holds t ~owner ~page =
   locked t (fun () -> holds_unlocked (state t page) owner)
 
 let acquire_page t ~owner ~page ~write =
-  let deadline = Unix.gettimeofday () +. t.timeout_s in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. t.timeout_s in
   locked t (fun () ->
       let s = state t page in
       let can_take () =
@@ -107,14 +139,22 @@ let acquire_page t ~owner ~page ~write =
           if write then s.writer = None && s.readers = []
           else s.writer = None
       in
+      let waited = ref false in
       while not (can_take ()) do
-        if Unix.gettimeofday () > deadline then raise (Would_deadlock { owner; page });
+        if Unix.gettimeofday () > deadline then begin
+          Obs.inc m_would_deadlock;
+          Obs.observe m_wait (Unix.gettimeofday () -. start);
+          raise (Would_deadlock { owner; page })
+        end;
+        waited := true;
         t.page_waiters <- t.page_waiters + 1;
         start_ticker t;
         Fun.protect
           ~finally:(fun () -> t.page_waiters <- t.page_waiters - 1)
           (fun () -> Condition.wait t.cond t.mu)
       done;
+      if !waited then Obs.observe m_wait (Unix.gettimeofday () -. start);
+      Obs.inc (if write then m_page_write else m_page_read);
       match holds_unlocked s owner with
       | `Write -> ()
       | `Read ->

@@ -31,6 +31,18 @@ type t = {
 
 let default_page_bits = 12
 
+let m_fill_rate =
+  Obs.gauge ~help:"used slots / physical slots (slack fill rate)"
+    "schema_up.fill_rate"
+
+let m_vacuum_duration =
+  Obs.histogram ~help:"compaction (vacuum) duration [s]" "schema_up.vacuum_duration"
+
+let m_vacuums = Obs.counter ~help:"compaction (vacuum) runs" "schema_up.vacuums"
+
+let m_vacuum_reclaimed =
+  Obs.counter ~help:"physical slots reclaimed by vacuum" "schema_up.vacuum_reclaimed"
+
 let create ?(page_bits = default_page_bits) () =
   { pbits = page_bits;
     map = Pagemap.create ~bits:page_bits;
@@ -358,7 +370,14 @@ let attribute t pre q =
 
 (* ------------------------------------------------------------ bookkeeping *)
 
-let add_live_nodes t d = t.live <- t.live + d
+let update_fill_rate t =
+  let cap = capacity t in
+  Obs.set m_fill_rate
+    (if cap = 0 then 0.0 else float_of_int t.live /. float_of_int cap)
+
+let add_live_nodes t d =
+  t.live <- t.live + d;
+  update_fill_rate t
 
 (* ----------------------------------------------------------------- shred *)
 
@@ -414,12 +433,15 @@ let of_dom ?(page_bits = default_page_bits) ?(fill = 0.8) d =
       t.free_nodes <- pos :: t.free_nodes
   done;
   t.live <- n;
+  update_fill_rate t;
   t
 
 (* ------------------------------------------------------------------ vacuum *)
 
 let compact ?(fill = 0.8) t =
   if fill <= 0.0 || fill > 1.0 then invalid_arg "Schema_up.compact: fill in (0,1]";
+  let vacuum_t0 = Obs.now () in
+  let slots_before = capacity t in
   let p = page_size t in
   let used_per_page = max 1 (min p (int_of_float (Float.round (fill *. float_of_int p)))) in
   (* Collect live tuples in document (pre) order. *)
@@ -488,7 +510,11 @@ let compact ?(fill = 0.8) t =
   Hashtbl.reset t.attr_index;
   List.iter
     (fun (owner, qn, prop) -> ignore (attr_add t ~node:owner ~qn ~prop))
-    (List.rev !keep)
+    (List.rev !keep);
+  Obs.inc m_vacuums;
+  Obs.add m_vacuum_reclaimed (max 0 (slots_before - capacity t));
+  Obs.observe m_vacuum_duration (Obs.now () -. vacuum_t0);
+  update_fill_rate t
 
 (* ------------------------------------------------------------- persistence *)
 

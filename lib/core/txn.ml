@@ -29,7 +29,26 @@ exception Aborted of string
 
 exception Conflict of { page : int; stamp : int; snapshot : int }
 
-let read m f = Lock.with_global_read m.locks (fun () -> f (View.direct m.base))
+let m_begins = Obs.counter ~help:"write transactions started" "txn.begins"
+
+let m_commits = Obs.counter ~help:"write transactions committed" "txn.commits"
+
+let m_rollbacks =
+  Obs.counter ~help:"write transactions aborted or rolled back" "txn.rollbacks"
+
+let m_conflicts =
+  Obs.counter ~help:"snapshot-validation conflicts (first-committer-wins)"
+    "txn.conflicts"
+
+let m_commit_latency =
+  Obs.histogram ~help:"Txn.commit duration incl. WAL append [s]"
+    "txn.commit_latency"
+
+let m_reads = Obs.counter ~help:"read transactions run" "txn.reads"
+
+let read m f =
+  Obs.inc m_reads;
+  Lock.with_global_read m.locks (fun () -> f (View.direct m.base))
 
 type state = Active | Committed | Rolled_back
 
@@ -46,6 +65,7 @@ let id t = t.txn_id
 let view t = t.v
 
 let begin_write m =
+  Obs.inc m_begins;
   Mutex.lock m.id_mu;
   let txn_id = m.next_txn in
   m.next_txn <- txn_id + 1;
@@ -59,7 +79,10 @@ let begin_write m =
      concurrent commit keep the transaction's snapshot consistent. *)
   let check page =
     let stamp = Schema_up.page_stamp m.base page in
-    if stamp > !snapshot then raise (Conflict { page; stamp; snapshot = !snapshot })
+    if stamp > !snapshot then begin
+      Obs.inc m_conflicts;
+      raise (Conflict { page; stamp; snapshot = !snapshot })
+    end
   in
   let touch page write =
     (match Hashtbl.find_opt held page with
@@ -91,6 +114,7 @@ let release t =
 
 let abort t =
   check_active t "Txn.abort";
+  Obs.inc m_rollbacks;
   t.state <- Rolled_back;
   (match View.staged_state t.v with
   | None -> ()
@@ -306,6 +330,7 @@ let commit ?validate t =
       | Error msg ->
         abort t;
         raise (Aborted ("validation failed: " ^ msg))));
+    let t0 = Obs.now () in
     match
       Lock.with_global_write t.m.locks (fun () ->
           let record = build_record t st in
@@ -319,10 +344,13 @@ let commit ?validate t =
     with
     | () ->
       t.state <- Committed;
+      Obs.inc m_commits;
+      Obs.observe m_commit_latency (Obs.now () -. t0);
       release t
     | exception e ->
       (* Apply-phase failures must not leave the txn half-open. *)
       t.state <- Rolled_back;
+      Obs.inc m_rollbacks;
       release t;
       raise e)
 

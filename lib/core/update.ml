@@ -21,6 +21,24 @@ type cost = {
 
 let costs = { moved_tuples = 0; new_pages = 0; blanked_tuples = 0 }
 
+let m_inserts = Obs.counter ~help:"structural insert operations" "schema_up.inserts"
+
+let m_inserted_tuples =
+  Obs.counter ~help:"tuples added by inserts" "schema_up.inserted_tuples"
+
+let m_deletes = Obs.counter ~help:"structural delete operations" "schema_up.deletes"
+
+let m_deleted_tuples =
+  Obs.counter ~help:"tuples blanked by deletes" "schema_up.deleted_tuples"
+
+let m_overflows =
+  Obs.counter ~help:"inserts that overflowed a logical page (Figure 7b splits)"
+    "schema_up.page_overflows"
+
+let m_overflow_pages =
+  Obs.counter ~help:"fresh pages appended by overflowing inserts"
+    "schema_up.overflow_pages"
+
 let reset_costs () =
   costs.moved_tuples <- 0;
   costs.new_pages <- 0;
@@ -143,6 +161,8 @@ let insert_after_prev v ~prev news =
     let logical = prev lsr bits in
     let fresh = View.splice_pages v ~at_logical:(logical + 1) ~count:k in
     costs.new_pages <- costs.new_pages + k;
+    Obs.inc m_overflows;
+    Obs.add m_overflow_pages k;
     rewrite_page v ~phys (before @ head);
     let rec fill pages rest =
       match pages, rest with
@@ -210,6 +230,8 @@ let insert ?size_chain v point nodes =
     let news = prepare_forest v ~parent_level:(View.level v parent) nodes in
     insert_after_prev v ~prev news;
     let m = Array.length news in
+    Obs.inc m_inserts;
+    Obs.add m_inserted_tuples m;
     List.iter (fun node -> View.add_size_delta v ~node m) ancestors;
     View.add_live v m
   end
@@ -234,6 +256,8 @@ let delete v ~pre =
     positions;
   Hashtbl.iter (fun phys () -> View.recompute_free_runs v ~phys_page:phys) touched;
   let m = List.length positions in
+  Obs.inc m_deletes;
+  Obs.add m_deleted_tuples m;
   List.iter (fun node -> View.add_size_delta v ~node (-m)) ancestors;
   View.add_live v (-m)
 

@@ -16,6 +16,19 @@ type record = {
 
 type t = { path : string; oc : out_channel }
 
+let m_frames = Obs.counter ~help:"commit records appended" "wal.frames"
+
+let m_bytes = Obs.counter ~help:"bytes appended (frame header included)" "wal.bytes"
+
+let m_fsyncs = Obs.counter ~help:"channel flushes (the durability point)" "wal.fsyncs"
+
+let m_fsync_latency =
+  Obs.histogram ~help:"append+flush latency per commit record [s]"
+    "wal.fsync_latency"
+
+(* Persist.write_frame prefixes a 24-byte [magic|length|checksum] header. *)
+let frame_header_bytes = 24
+
 let open_log path =
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
   { path; oc }
@@ -134,7 +147,12 @@ let decode payload =
   { txn; cells; pages; page_order; node_pos; freed_nodes; size_deltas;
     attr_adds; attr_dels; pool; live_delta }
 
-let append t r = Persist.write_frame t.oc (encode r)
+let append t r =
+  let payload = encode r in
+  Obs.time m_fsync_latency (fun () -> Persist.write_frame t.oc payload);
+  Obs.inc m_frames;
+  Obs.inc m_fsyncs;
+  Obs.add m_bytes (String.length payload + frame_header_bytes)
 
 let close t = close_out t.oc
 

@@ -1,0 +1,515 @@
+(* Process-global metrics registry + span tracer. No dependencies beyond
+   unix (time source) and threads (per-thread span stacks). *)
+
+let now () = Unix.gettimeofday ()
+
+(* CAS loops for the few compound float updates; contention on these is rare
+   (histogram observe is dominated by the bucket add). *)
+let atomic_add_float a x =
+  let rec go () =
+    let old = Atomic.get a in
+    if not (Atomic.compare_and_set a old (old +. x)) then go ()
+  in
+  go ()
+
+let atomic_min_float a x =
+  let rec go () =
+    let old = Atomic.get a in
+    if x < old && not (Atomic.compare_and_set a old x) then go ()
+  in
+  go ()
+
+let atomic_max_float a x =
+  let rec go () =
+    let old = Atomic.get a in
+    if x > old && not (Atomic.compare_and_set a old x) then go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------ instruments -- *)
+
+type counter = { c : int Atomic.t }
+
+type gauge = { g : float Atomic.t }
+
+type histogram = {
+  base : float;
+  nbuckets : int;
+  counts : int Atomic.t array;
+  hsum : float Atomic.t;
+  hmin : float Atomic.t;
+  hmax : float Atomic.t;
+}
+
+let inc c = ignore (Atomic.fetch_and_add c.c 1)
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: negative delta";
+  ignore (Atomic.fetch_and_add c.c n)
+
+let value c = Atomic.get c.c
+
+let set g x = Atomic.set g.g x
+
+let gauge_value g = Atomic.get g.g
+
+(* Smallest i with value <= base * 2^i, clamped to [0, nbuckets-1]; O(1) via
+   frexp so the observe hot path never loops. *)
+let bucket_of h x =
+  if x <= h.base then 0
+  else begin
+    let m, e = Float.frexp (x /. h.base) in
+    let i = if m = 0.5 then e - 1 else e in
+    if i >= h.nbuckets then h.nbuckets - 1 else i
+  end
+
+let observe h x =
+  ignore (Atomic.fetch_and_add h.counts.(bucket_of h x) 1);
+  atomic_add_float h.hsum x;
+  atomic_min_float h.hmin x;
+  atomic_max_float h.hmax x
+
+let time h f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> observe h (now () -. t0)) f
+
+(* --------------------------------------------------------------- registry -- *)
+
+type instrument = I_counter of counter | I_gauge of gauge | I_hist of histogram
+
+type entry = {
+  name : string;
+  labels : (string * string) list; (* canonical: sorted by key *)
+  help : string;
+  inst : instrument;
+}
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let registry_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+let canonical_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let key name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+    name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls)
+    ^ "}"
+
+let register ~kind ~help ~labels name make =
+  let labels = canonical_labels labels in
+  let k = key name labels in
+  locked (fun () ->
+      match Hashtbl.find_opt registry k with
+      | Some e -> e.inst
+      | None ->
+        let inst = make () in
+        Hashtbl.replace registry k { name; labels; help; inst };
+        inst)
+  |> fun inst ->
+  match kind, inst with
+  | `Counter, I_counter c -> I_counter c
+  | `Gauge, I_gauge g -> I_gauge g
+  | `Hist, I_hist h -> I_hist h
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Obs: %s is already registered as a different kind" k)
+
+let counter ?(help = "") ?(labels = []) name =
+  match
+    register ~kind:`Counter ~help ~labels name (fun () ->
+        I_counter { c = Atomic.make 0 })
+  with
+  | I_counter c -> c
+  | _ -> assert false
+
+let gauge ?(help = "") ?(labels = []) name =
+  match
+    register ~kind:`Gauge ~help ~labels name (fun () ->
+        I_gauge { g = Atomic.make 0.0 })
+  with
+  | I_gauge g -> g
+  | _ -> assert false
+
+let histogram ?(help = "") ?(labels = []) ?(base = 1e-6) ?(buckets = 64) name =
+  if base <= 0.0 then invalid_arg "Obs.histogram: base must be positive";
+  if buckets < 2 then invalid_arg "Obs.histogram: need at least two buckets";
+  match
+    register ~kind:`Hist ~help ~labels name (fun () ->
+        I_hist
+          { base;
+            nbuckets = buckets;
+            counts = Array.init buckets (fun _ -> Atomic.make 0);
+            hsum = Atomic.make 0.0;
+            hmin = Atomic.make infinity;
+            hmax = Atomic.make neg_infinity })
+  with
+  | I_hist h -> h
+  | _ -> assert false
+
+(* ---------------------------------------------------------------- snapshot -- *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  buckets : (float * int) list;
+}
+
+type snap_value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+type snapshot = {
+  entries : (string * (string * string) list * string * snap_value) list;
+}
+
+let bucket_bound h i =
+  if i >= h.nbuckets - 1 then infinity else h.base *. (2.0 ** float_of_int i)
+
+(* Rank-interpolated estimate inside the winning bucket: exact to within one
+   power of two by construction. *)
+let quantile_of_counts h counts total q =
+  if total = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int total in
+    let i = ref 0 and cum = ref 0 in
+    while
+      !i < h.nbuckets - 1 && float_of_int (!cum + counts.(!i)) < rank
+    do
+      cum := !cum + counts.(!i);
+      incr i
+    done;
+    let lower = if !i = 0 then 0.0 else h.base *. (2.0 ** float_of_int (!i - 1)) in
+    let upper =
+      if !i >= h.nbuckets - 1 then h.base *. (2.0 ** float_of_int !i)
+      else bucket_bound h !i
+    in
+    let in_bucket = counts.(!i) in
+    if in_bucket = 0 then upper
+    else
+      let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+      lower +. ((upper -. lower) *. Float.min 1.0 (Float.max 0.0 frac))
+  end
+
+let hist_snapshot h =
+  let counts = Array.map Atomic.get h.counts in
+  let total = Array.fold_left ( + ) 0 counts in
+  let cum = ref 0 in
+  let buckets = ref [] in
+  Array.iteri
+    (fun i c ->
+      cum := !cum + c;
+      if c > 0 then buckets := (bucket_bound h i, !cum) :: !buckets)
+    counts;
+  let q p = quantile_of_counts h counts total p in
+  { count = total;
+    sum = Atomic.get h.hsum;
+    min = (if total = 0 then Float.nan else Atomic.get h.hmin);
+    max = (if total = 0 then Float.nan else Atomic.get h.hmax);
+    p50 = q 0.5;
+    p95 = q 0.95;
+    p99 = q 0.99;
+    buckets = List.rev !buckets }
+
+let quantile (hs : hist_snapshot) q =
+  (* Re-derive from the cumulative bucket list. *)
+  if hs.count = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int hs.count in
+    let rec go prev_upper prev_cum = function
+      | [] -> prev_upper
+      | (upper, cum) :: rest ->
+        if float_of_int cum >= rank then begin
+          let in_bucket = cum - prev_cum in
+          let lower = Float.max 0.0 prev_upper in
+          let upper = if upper = infinity then hs.max else upper in
+          if in_bucket = 0 then upper
+          else
+            let frac = (rank -. float_of_int prev_cum) /. float_of_int in_bucket in
+            lower +. ((upper -. lower) *. Float.min 1.0 (Float.max 0.0 frac))
+        end
+        else go upper cum rest
+    in
+    go 0.0 0 hs.buckets
+  end
+
+let snap_entry e =
+  let v =
+    match e.inst with
+    | I_counter c -> Counter (value c)
+    | I_gauge g -> Gauge (gauge_value g)
+    | I_hist h -> Histogram (hist_snapshot h)
+  in
+  (e.name, e.labels, e.help, v)
+
+let snapshot () =
+  let entries =
+    locked (fun () -> Hashtbl.fold (fun _ e acc -> snap_entry e :: acc) registry [])
+  in
+  { entries =
+      List.sort
+        (fun (n1, l1, _, _) (n2, l2, _, _) ->
+          match String.compare n1 n2 with 0 -> compare l1 l2 | c -> c)
+        entries }
+
+(* ------------------------------------------------------------ span tracing -- *)
+
+module Span = struct
+  type t = { name : string; start : float; dur : float; children : t list }
+
+  type frame = { fname : string; fstart : float; mutable fchildren : t list }
+
+  (* thread id -> that thread's open-span stack; only the owning thread
+     mutates its stack ref, the table itself is mutex-guarded. *)
+  let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 16
+
+  let stacks_mu = Mutex.create ()
+
+  let ring_capacity = 32
+
+  let ring : t option array = Array.make ring_capacity None
+
+  let ring_next = ref 0
+
+  let ring_mu = Mutex.create ()
+
+  let my_stack () =
+    let tid = Thread.id (Thread.self ()) in
+    Mutex.lock stacks_mu;
+    let r =
+      match Hashtbl.find_opt stacks tid with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace stacks tid r;
+        r
+    in
+    Mutex.unlock stacks_mu;
+    r
+
+  let push_trace t =
+    Mutex.lock ring_mu;
+    ring.(!ring_next mod ring_capacity) <- Some t;
+    incr ring_next;
+    Mutex.unlock ring_mu
+
+  let finish stack frame =
+    let fin =
+      { name = frame.fname;
+        start = frame.fstart;
+        dur = now () -. frame.fstart;
+        children = List.rev frame.fchildren }
+    in
+    (match !stack with
+    | top :: rest when top == frame -> stack := rest
+    | _ -> stack := []);
+    (match !stack with
+    | parent :: _ -> parent.fchildren <- fin :: parent.fchildren
+    | [] -> push_trace fin);
+    observe (histogram ~help:"span durations [s]" ("trace." ^ fin.name)) fin.dur
+
+  let with_ name f =
+    let stack = my_stack () in
+    let frame = { fname = name; fstart = now (); fchildren = [] } in
+    stack := frame :: !stack;
+    Fun.protect ~finally:(fun () -> finish stack frame) f
+
+  let recent () =
+    Mutex.lock ring_mu;
+    let out = ref [] in
+    for i = 0 to ring_capacity - 1 do
+      (* oldest-to-newest walk of the ring, then reversed below *)
+      match ring.((!ring_next + i) mod ring_capacity) with
+      | Some t -> out := t :: !out
+      | None -> ()
+    done;
+    Mutex.unlock ring_mu;
+    !out
+
+  let render t =
+    let b = Buffer.create 128 in
+    let rec go indent s =
+      Buffer.add_string b
+        (Printf.sprintf "%s%-*s %10.3fms\n" (String.make indent ' ')
+           (max 1 (32 - indent)) s.name (1000.0 *. s.dur));
+      List.iter (go (indent + 2)) s.children
+    in
+    go 0 t;
+    Buffer.contents b
+
+  let reset () =
+    Mutex.lock ring_mu;
+    Array.fill ring 0 ring_capacity None;
+    ring_next := 0;
+    Mutex.unlock ring_mu
+end
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e.inst with
+          | I_counter c -> Atomic.set c.c 0
+          | I_gauge g -> Atomic.set g.g 0.0
+          | I_hist h ->
+            Array.iter (fun a -> Atomic.set a 0) h.counts;
+            Atomic.set h.hsum 0.0;
+            Atomic.set h.hmin infinity;
+            Atomic.set h.hmax neg_infinity)
+        registry);
+  Span.reset ()
+
+(* --------------------------------------------------------------- rendering -- *)
+
+let fmt_float x =
+  if Float.is_nan x then "-"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%d" (int_of_float x)
+  else Printf.sprintf "%.6g" x
+
+let label_text labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+    "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}"
+
+let render_table snap =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "%-44s %s\n" "instrument" "value");
+  Buffer.add_string b (String.make 78 '-');
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (name, labels, _help, v) ->
+      let id = name ^ label_text labels in
+      match v with
+      | Counter n -> Buffer.add_string b (Printf.sprintf "%-44s %d\n" id n)
+      | Gauge x -> Buffer.add_string b (Printf.sprintf "%-44s %s\n" id (fmt_float x))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%-44s n=%d p50=%s p95=%s p99=%s max=%s sum=%s\n" id h.count
+             (fmt_float h.p50) (fmt_float h.p95) (fmt_float h.p99)
+             (fmt_float h.max) (fmt_float h.sum)))
+    snap.entries;
+  Buffer.contents b
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) ls)
+    ^ "}"
+
+let prom_extra_label labels k v = prom_labels (labels @ [ (k, v) ])
+
+let render_prometheus snap =
+  let b = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (name, labels, help, v) ->
+      let n = sanitize name in
+      let header kind =
+        if not (Hashtbl.mem seen_header n) then begin
+          Hashtbl.replace seen_header n ();
+          if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n help);
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" n kind)
+        end
+      in
+      match v with
+      | Counter c ->
+        header "counter";
+        Buffer.add_string b (Printf.sprintf "%s%s %d\n" n (prom_labels labels) c)
+      | Gauge g ->
+        header "gauge";
+        Buffer.add_string b (Printf.sprintf "%s%s %.9g\n" n (prom_labels labels) g)
+      | Histogram h ->
+        header "histogram";
+        List.iter
+          (fun (le, cum) ->
+            let le = if le = infinity then "+Inf" else Printf.sprintf "%.9g" le in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" n (prom_extra_label labels "le" le) cum))
+          h.buckets;
+        if List.for_all (fun (le, _) -> le <> infinity) h.buckets then
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" n (prom_extra_label labels "le" "+Inf")
+               h.count);
+        Buffer.add_string b (Printf.sprintf "%s_sum%s %.9g\n" n (prom_labels labels) h.sum);
+        Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" n (prom_labels labels) h.count))
+    snap.entries;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_nan x then "null"
+  else if x = infinity then "\"+Inf\""
+  else if x = neg_infinity then "\"-Inf\""
+  else Printf.sprintf "%.9g" x
+
+let render_json snap =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i (name, labels, help, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let labels_json =
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+               labels)
+        ^ "}"
+      in
+      let common kind =
+        Printf.sprintf "  {\"name\":\"%s\",\"labels\":%s,\"help\":\"%s\",\"type\":\"%s\""
+          (json_escape name) labels_json (json_escape help) kind
+      in
+      (match v with
+      | Counter c -> Buffer.add_string b (Printf.sprintf "%s,\"value\":%d}" (common "counter") c)
+      | Gauge g -> Buffer.add_string b (Printf.sprintf "%s,\"value\":%s}" (common "gauge") (json_float g))
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+             (common "histogram") h.count (json_float h.sum) (json_float h.min)
+             (json_float h.max) (json_float h.p50) (json_float h.p95)
+             (json_float h.p99))))
+    snap.entries;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -1,0 +1,130 @@
+(** Dependency-free observability kernel: a process-global registry of named,
+    labelled instruments (atomic counters, gauges, log-bucketed latency
+    histograms) plus a lightweight nested-span tracer.
+
+    Instruments are created idempotently: asking twice for the same
+    [name]+[labels] returns the same instrument, so modules can declare their
+    instruments at initialisation time and tests can re-resolve them by name.
+    Naming convention: [subsystem.instrument] (e.g. ["txn.commits"],
+    ["lock.wait_time"]); labels qualify one instrument into a small family
+    (e.g. ["lock.acquisitions"] with [("scope", "page"); ("mode", "write")]).
+
+    All mutation paths are thread- and domain-safe: counters and gauges are
+    single atomics, histogram buckets are atomic adds, and the few compound
+    updates (histogram sum/min/max) are CAS loops. Reading ({!snapshot}) is
+    lock-free and may be slightly torn under concurrent writes — fine for
+    monitoring, not for accounting. *)
+
+(** {1 Instruments} *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Register (or re-resolve) a monotonic counter. Raises [Invalid_argument]
+    if the name is already registered as a different instrument kind. *)
+
+val inc : counter -> unit
+
+val add : counter -> int -> unit
+(** Add a non-negative amount; negative deltas raise [Invalid_argument]. *)
+
+val value : counter -> int
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+(** Register (or re-resolve) a settable gauge. *)
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val histogram :
+  ?help:string -> ?labels:(string * string) list -> ?base:float -> ?buckets:int ->
+  string -> histogram
+(** Register (or re-resolve) a histogram with logarithmic (powers-of-two)
+    buckets: bucket [i] counts observations in [(base*2^(i-1), base*2^i]]
+    (bucket 0 is [(0, base]], the last bucket is open-ended). Defaults:
+    [base = 1e-6] (1µs when observing seconds) and [buckets = 64], covering
+    twelve orders of magnitude. [base]/[buckets] are fixed at first
+    registration; later calls with different geometry return the original. *)
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and observe its wall-clock duration in seconds (also on
+    exception). *)
+
+val now : unit -> float
+(** Wall-clock seconds (the kernel's single time source). *)
+
+(** {1 Snapshots and rendering} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when empty *)
+  max : float;  (** [nan] when empty *)
+  p50 : float;  (** estimated from buckets, within one power of two *)
+  p95 : float;
+  p99 : float;
+  buckets : (float * int) list;
+      (** (inclusive upper bound, cumulative count), non-empty buckets only;
+          the open-ended top bucket reports [infinity]. *)
+}
+
+type snap_value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+type snapshot = {
+  entries : (string * (string * string) list * string * snap_value) list;
+      (** (name, labels, help, value), sorted by name then labels. *)
+}
+
+val snapshot : unit -> snapshot
+
+val quantile : hist_snapshot -> float -> float
+(** [quantile h q] for arbitrary [q] in [0,1], same estimator as [p50]. *)
+
+val reset : unit -> unit
+(** Zero every instrument (registration survives) and drop recorded traces. *)
+
+val render_table : snapshot -> string
+(** Human-readable table, one instrument per line; histograms show
+    [n/p50/p95/p99/max/sum]. *)
+
+val render_prometheus : snapshot -> string
+(** Prometheus text exposition format (names sanitised, histograms as
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count]). *)
+
+val render_json : snapshot -> string
+(** A JSON array of [{"name", "labels", "type", ...}] objects; histograms
+    carry count/sum/min/max/quantiles. *)
+
+(** {1 Span tracing} *)
+
+module Span : sig
+  type t = {
+    name : string;
+    start : float;  (** wall-clock seconds *)
+    dur : float;
+    children : t list;  (** in start order *)
+  }
+
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a span. Spans nest per thread (each thread keeps
+      its own stack); when the outermost span of a thread finishes, the whole
+      trace is pushed into a bounded ring of recent traces. Every span also
+      observes its duration into the histogram [trace.<name>], so per-phase
+      p50/p95/p99 fall out of the ordinary snapshot. *)
+
+  val recent : unit -> t list
+  (** Most recent completed root traces, newest first (bounded ring). *)
+
+  val render : t -> string
+  (** One trace as an indented tree with durations. *)
+end

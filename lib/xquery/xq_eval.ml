@@ -1,5 +1,9 @@
 open Xq_ast
 
+let m_queries = Obs.counter ~help:"XQuery evaluations run" "xq_eval.queries"
+
+let m_items = Obs.counter ~help:"items in XQuery top-level results" "xq_eval.items"
+
 module Make (S : Core.Storage_intf.S) = struct
   module E = Core.Engine.Make (S)
   module Ser = Core.Node_serialize.Make (S)
@@ -380,7 +384,11 @@ module Make (S : Core.Storage_intf.S) = struct
       v;
     Buffer.contents b
 
-  let run t src = eval t (Xq_parser.parse src)
+  let run t src =
+    Obs.inc m_queries;
+    let items = eval t (Xq_parser.parse src) in
+    Obs.add m_items (List.length items);
+    items
 
   let run_string t src = serialize t (run t src)
 end

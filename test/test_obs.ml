@@ -1,0 +1,253 @@
+(* Observability kernel tests: histogram bucketing and quantile estimation,
+   counter atomicity under domains and threads, span nesting, and an
+   end-to-end check that a forced page overflow shows up in the storage
+   instruments. *)
+
+module Dom = Xml.Dom
+module P = Xml.Xml_parser
+module Up = Core.Schema_up
+module View = Core.View
+module U = Core.Update
+module Txn = Core.Txn
+module E = Core.Engine.Make (Core.View)
+
+let node_pre v path =
+  match E.parse_eval v path with
+  | [ E.Node pre ] -> pre
+  | _ -> Alcotest.failf "expected one node for %s" path
+
+let check_integrity t =
+  match Up.check_integrity t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "integrity: %s" m
+
+let in_range name lo hi x =
+  if not (x >= lo && x <= hi) then
+    Alcotest.failf "%s: %g not in [%g, %g]" name x lo hi
+
+(* ------------------------------------------------------------- instruments -- *)
+
+let test_counter_basics () =
+  let c = Obs.counter "test.basics" in
+  let v0 = Obs.value c in
+  Obs.inc c;
+  Obs.add c 41;
+  Alcotest.(check int) "inc + add" (v0 + 42) (Obs.value c);
+  (* registration is idempotent: same name -> same instrument *)
+  Obs.inc (Obs.counter "test.basics");
+  Alcotest.(check int) "re-resolved" (v0 + 43) (Obs.value c);
+  (match Obs.add c (-1) with
+  | () -> Alcotest.fail "negative add accepted"
+  | exception Invalid_argument _ -> ());
+  (* same name as a different kind is a registration error *)
+  (match Obs.gauge "test.basics" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_gauge () =
+  let g = Obs.gauge "test.gauge" in
+  Obs.set g 0.75;
+  Alcotest.(check (float 1e-9)) "set" 0.75 (Obs.gauge_value g);
+  Obs.set g 0.25;
+  Alcotest.(check (float 1e-9)) "overwrite" 0.25 (Obs.gauge_value g)
+
+let test_labels_distinguish () =
+  let a = Obs.counter ~labels:[ ("k", "a") ] "test.labelled" in
+  let b = Obs.counter ~labels:[ ("k", "b") ] "test.labelled" in
+  Obs.inc a;
+  Obs.inc a;
+  Obs.inc b;
+  Alcotest.(check int) "label a" 2 (Obs.value a);
+  Alcotest.(check int) "label b" 1 (Obs.value b);
+  (* label order is canonicalised *)
+  let a' = Obs.counter ~labels:[ ("k", "a"); ("z", "1") ] "test.labelled" in
+  let a'' = Obs.counter ~labels:[ ("z", "1"); ("k", "a") ] "test.labelled" in
+  Obs.inc a';
+  Alcotest.(check int) "order-insensitive" 1 (Obs.value a'')
+
+(* Bucket i covers (base*2^(i-1), base*2^i]; with base = 1.0 the observations
+   below land in buckets 0..3 and every quantile is interpolated inside a
+   known bucket. *)
+let test_histogram_buckets_and_quantiles () =
+  let h = Obs.histogram ~base:1.0 ~buckets:16 "test.hist" in
+  List.iter (Obs.observe h) [ 0.5; 1.5; 3.0; 3.5; 7.0 ];
+  let s =
+    match
+      List.find_map
+        (fun (name, _, _, v) ->
+          match v with Obs.Histogram hs when name = "test.hist" -> Some hs | _ -> None)
+        (Obs.snapshot ()).Obs.entries
+    with
+    | Some hs -> hs
+    | None -> Alcotest.fail "test.hist missing from snapshot"
+  in
+  Alcotest.(check int) "count" 5 s.Obs.count;
+  Alcotest.(check (float 1e-9)) "sum" 15.5 s.Obs.sum;
+  Alcotest.(check (float 1e-9)) "min" 0.5 s.Obs.min;
+  Alcotest.(check (float 1e-9)) "max" 7.0 s.Obs.max;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "cumulative buckets"
+    [ (1.0, 1); (2.0, 2); (4.0, 4); (8.0, 5) ]
+    s.Obs.buckets;
+  (* true median is 3.0, inside bucket (2,4]; p95 inside (4,8] *)
+  in_range "p50" 2.0 4.0 s.Obs.p50;
+  in_range "p95" 4.0 8.0 s.Obs.p95;
+  in_range "p99" 4.0 8.0 s.Obs.p99;
+  in_range "q(0.1)" 0.0 1.0 (Obs.quantile s 0.1);
+  (* boundary: an observation exactly at a bucket bound stays in that bucket *)
+  let hb = Obs.histogram ~base:1.0 ~buckets:16 "test.hist_bound" in
+  List.iter (Obs.observe hb) [ 1.0; 2.0; 4.0 ];
+  let sb =
+    List.find_map
+      (fun (name, _, _, v) ->
+        match v with
+        | Obs.Histogram hs when name = "test.hist_bound" -> Some hs
+        | _ -> None)
+      (Obs.snapshot ()).Obs.entries
+    |> Option.get
+  in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "inclusive upper bounds"
+    [ (1.0, 1); (2.0, 2); (4.0, 3) ]
+    sb.Obs.buckets
+
+let test_counter_atomicity () =
+  let c = Obs.counter "test.hammer" in
+  let h = Obs.histogram ~base:1.0 "test.hammer_hist" in
+  let v0 = Obs.value c in
+  let per = 25_000 and ndomains = 4 and nthreads = 4 in
+  (* true parallelism across domains... *)
+  let domains =
+    List.init ndomains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Obs.inc c;
+              Obs.observe h 1.0
+            done))
+  in
+  (* ...and interleaving across systhreads in this domain *)
+  let threads =
+    List.init nthreads (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per do
+              Obs.add c 1
+            done)
+          ())
+  in
+  List.iter Domain.join domains;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no lost increments"
+    (v0 + ((ndomains + nthreads) * per))
+    (Obs.value c)
+
+(* ------------------------------------------------------------------- spans -- *)
+
+let test_span_nesting () =
+  let r = ref 0 in
+  let out =
+    Obs.Span.with_ "test_root" (fun () ->
+        Obs.Span.with_ "test_child_b" (fun () -> incr r);
+        Obs.Span.with_ "test_child_c" (fun () ->
+            Obs.Span.with_ "test_grandchild" (fun () -> incr r));
+        "done")
+  in
+  Alcotest.(check string) "value returned through spans" "done" out;
+  Alcotest.(check int) "thunks ran" 2 !r;
+  match Obs.Span.recent () with
+  | [] -> Alcotest.fail "no trace recorded"
+  | t :: _ ->
+    Alcotest.(check string) "root name" "test_root" t.Obs.Span.name;
+    Alcotest.(check (list string))
+      "children in start order" [ "test_child_b"; "test_child_c" ]
+      (List.map (fun (c : Obs.Span.t) -> c.Obs.Span.name) t.Obs.Span.children);
+    (match t.Obs.Span.children with
+    | [ _; c ] ->
+      Alcotest.(check (list string))
+        "grandchild" [ "test_grandchild" ]
+        (List.map (fun (g : Obs.Span.t) -> g.Obs.Span.name) c.Obs.Span.children)
+    | _ -> Alcotest.fail "expected two children");
+    if t.Obs.Span.dur < 0.0 then Alcotest.fail "negative duration";
+    (* every span feeds a trace.<name> histogram *)
+    let seen =
+      List.exists
+        (fun (name, _, _, _) -> name = "trace.test_root")
+        (Obs.snapshot ()).Obs.entries
+    in
+    Alcotest.(check bool) "trace histogram registered" true seen
+
+let test_span_survives_exception () =
+  (match Obs.Span.with_ "test_raise" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  (* the span stack must be unwound: a new root span is a root, not a child *)
+  ignore (Obs.Span.with_ "test_after_raise" (fun () -> ()));
+  match Obs.Span.recent () with
+  | t :: _ -> Alcotest.(check string) "new root" "test_after_raise" t.Obs.Span.name
+  | [] -> Alcotest.fail "no trace recorded"
+
+(* --------------------------------------------------------------- rendering -- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render_formats () =
+  let c = Obs.counter "test.render" in
+  Obs.inc c;
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "table has name" true (contains (Obs.render_table snap) "test.render");
+  let prom = Obs.render_prometheus snap in
+  Alcotest.(check bool) "prometheus sanitises dots" true (contains prom "test_render");
+  let json = Obs.render_json snap in
+  Alcotest.(check bool) "json has name" true (contains json "\"test.render\"")
+
+(* --------------------------------------------------------------------- e2e -- *)
+
+(* Shred at fill 1.0 (zero slack) so the very first insert cannot fit in its
+   page and must take the Figure 7b overflow path: fresh pages appended
+   physically, spliced logically via the pagemap. Both subsystems must tick. *)
+let test_overflow_ticks_storage_metrics () =
+  let c_overflows = Obs.counter "schema_up.page_overflows" in
+  let c_splices = Obs.counter "pagemap.splices" in
+  let c_commits = Obs.counter "txn.commits" in
+  let o0 = Obs.value c_overflows
+  and s0 = Obs.value c_splices
+  and k0 = Obs.value c_commits in
+  let base =
+    Up.of_dom ~page_bits:3 ~fill:1.0
+      (P.parse "<root><a><c1/><c2/><c3/><c4/><c5/><c6/><c7/></a></root>")
+  in
+  let m = Txn.manager base in
+  Txn.with_write m (fun v ->
+      U.insert v
+        (U.Last_child (node_pre v "/root/a"))
+        (P.parse_fragment "<n1/><n2/><n3/><n4/><n5/><n6/><n7/><n8/><n9/><n10/>"));
+  check_integrity base;
+  Txn.read m (fun v ->
+      Alcotest.(check int) "all children present" 17
+        (List.length (E.parse_eval v "//a/*"));
+      Alcotest.(check int) "inserted tail in place" 1
+        (List.length (E.parse_eval v "/root/a/n10")));
+  Alcotest.(check bool) "page overflow counted" true (Obs.value c_overflows > o0);
+  Alcotest.(check bool) "pagemap splice counted" true (Obs.value c_splices > s0);
+  Alcotest.(check int) "commit counted" (k0 + 1) (Obs.value c_commits)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "instruments",
+        [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "labels" `Quick test_labels_distinguish;
+          Alcotest.test_case "histogram buckets + quantiles" `Quick
+            test_histogram_buckets_and_quantiles;
+          Alcotest.test_case "counter atomicity (domains + threads)" `Quick
+            test_counter_atomicity ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_survives_exception ] );
+      ( "rendering", [ Alcotest.test_case "table/prometheus/json" `Quick test_render_formats ] );
+      ( "e2e",
+        [ Alcotest.test_case "overflow ticks schema_up + pagemap" `Quick
+            test_overflow_ticks_storage_metrics ] ) ]

@@ -327,6 +327,12 @@ let test_concurrent_overflow_splices () =
       Alcotest.(check int) "root size" 20 (View.size v (View.root_pre v)))
 
 let test_conflicting_writers_deadlock_aborts () =
+  (* Re-resolve the live instruments by name (registration is idempotent) so
+     the deadlock below is visible as counter deltas, not just as control
+     flow. *)
+  let c_deadlock = Obs.counter "lock.would_deadlock" in
+  let c_rollback = Obs.counter "txn.rollbacks" in
+  let dl0 = Obs.value c_deadlock and rb0 = Obs.value c_rollback in
   let base = Up.of_dom ~page_bits:3 ~fill:0.6 Testsupport.small_doc in
   let m = Txn.manager base in
   (* lower the lock timeout by rebuilding the manager *)
@@ -347,7 +353,9 @@ let test_conflicting_writers_deadlock_aborts () =
   Txn.commit t1;
   check_integrity base;
   Txn.read m (fun v ->
-      Alcotest.(check int) "only t1's insert" 1 (List.length (E.parse_eval v "//note")))
+      Alcotest.(check int) "only t1's insert" 1 (List.length (E.parse_eval v "//note")));
+  Alcotest.(check int) "lock.would_deadlock ticked" (dl0 + 1) (Obs.value c_deadlock);
+  Alcotest.(check int) "aborted txn counted" (rb0 + 1) (Obs.value c_rollback)
 
 let test_snapshot_conflict_detected () =
   (* First-committer-wins: T1 snapshots, T2 commits a change affecting a page
