@@ -7,6 +7,8 @@
      shift-cost   naive materialised-pre updates are O(N); paged are O(page)
      insert-cost  insert cost scales with update volume, not document size
      concurrency  commutative size deltas vs an ancestor-locking protocol
+     mvcc         writer commit throughput under concurrent snapshot readers
+                  (writes BENCH_mvcc.json; gated in CI via --baseline)
      ordpath      variable-length labels degenerate; fixed keys do not
      rdbms        positional (void) access vs a B-tree-indexed SQL host
      storage      the ~25% space overhead of the updateable schema
@@ -59,6 +61,12 @@ let header title =
   line ();
   Printf.printf "%s\n" title;
   line ()
+
+(* Named scalar results that CI gates on: lower is always better. Collected
+   during the run, compared against bench/baseline.json at the end. *)
+let gates : (string * float) list ref = ref []
+
+let record_gate k v = if Float.is_finite v then gates := (k, v) :: !gates
 
 (* ------------------------------------------------------------------ fig9 -- *)
 
@@ -144,6 +152,9 @@ let run_fig9 ~scales ~quota =
       Printf.printf " %+6.1f%% %-14s" (s /. float_of_int Xmark.Queries.query_count) "")
     sums;
   print_newline ();
+  record_gate "fig9_avg_overhead_pct"
+    (Array.fold_left ( +. ) 0.0 sums
+    /. float_of_int (Xmark.Queries.query_count * Array.length sums));
   print_endline
     "\npaper: overhead grows with document size but stays below ~30% on average;\n\
      the up schema pays the pre->pos swizzle plus node/pos indirection on\n\
@@ -559,6 +570,165 @@ let run_storage ~scales =
      grow more: the extra node column, the node/pos table and the pageOffset\n\
      — the paper's 'moreover ...' additions — are counted here too."
 
+(* ------------------------------------------------------------------ mvcc -- *)
+
+(* Snapshot-isolated reads: N reader domains pin version descriptors and
+   scan while one writer commits XUpdate insert/delete pairs. The global
+   read lock is gone, so the writer's commit rate should be insensitive to
+   the reader count. Readers pace themselves (think time) so the table
+   measures lock interference rather than core timesharing — on a 1-2 core
+   CI machine, unpaced reader domains would drown the writer in scheduler
+   and GC-rendezvous noise that has nothing to do with locking. *)
+let run_mvcc ~duration =
+  header "MVCC: writer commit throughput under concurrent snapshot readers";
+  let db = Core.Db.create ~page_bits:10 ~fill:0.8 (wide_doc 20_000) in
+  let think = 0.05 in
+  let stress ~readers =
+    let stop = Atomic.make false in
+    let reads = Atomic.make 0 and commits = Atomic.make 0 in
+    let reader () =
+      while not (Atomic.get stop) do
+        (match Core.Db.query_r db "/*/*" with
+        | Ok _ -> Atomic.incr reads
+        | Error e -> failwith (Core.Db.Error.to_string e));
+        Unix.sleepf think
+      done
+    in
+    let writer () =
+      let add =
+        {|<xupdate:modifications><xupdate:append select="/*"><w/></xupdate:append></xupdate:modifications>|}
+      in
+      let del =
+        {|<xupdate:modifications><xupdate:remove select="/*/w[1]"/></xupdate:modifications>|}
+      in
+      let adding = ref true in
+      while not (Atomic.get stop) do
+        match Core.Db.update_r db (if !adding then add else del) with
+        | Ok _ ->
+          Atomic.incr commits;
+          adding := not !adding
+        | Error (Core.Db.Error.Aborted _) -> ()
+        | Error (Core.Db.Error.Apply _) -> adding := true
+        | Error e -> failwith (Core.Db.Error.to_string e)
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let rd = List.init readers (fun _ -> Domain.spawn reader) in
+    let wt = Thread.create writer () in
+    Thread.delay duration;
+    Atomic.set stop true;
+    Thread.join wt;
+    List.iter Domain.join rd;
+    let dt = Unix.gettimeofday () -. t0 in
+    ( float_of_int (Atomic.get commits) /. dt,
+      float_of_int (Atomic.get reads) /. dt )
+  in
+  Printf.printf "(%.0fms reader think time, %.1fs per row)\n\n"
+    (think *. 1000.0) duration;
+  Printf.printf "%8s | %12s | %10s\n" "readers" "commits/s" "reads/s";
+  let rows =
+    List.map
+      (fun readers ->
+        let c, r = stress ~readers in
+        Printf.printf "%8d | %12.0f | %10.0f\n%!" readers c r;
+        (readers, c, r))
+      [ 0; 1; 2; 4; 8 ]
+  in
+  (match Up.check_integrity (Core.Db.store db) with
+  | Ok () -> ()
+  | Error msg -> failwith ("integrity after mvcc bench: " ^ msg));
+  let base = match rows with (0, c, _) :: _ -> c | _ -> Float.nan in
+  let slowdown =
+    match List.rev rows with
+    | (8, c, _) :: _ when c > 0.0 -> base /. c
+    | _ -> Float.nan
+  in
+  Printf.printf "\ncommit slowdown at 8 readers: %.2fx\n" slowdown;
+  record_gate "mvcc_slowdown_8r" slowdown;
+  let oc = open_out "BENCH_mvcc.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n  \"duration_s\": %g,\n  \"think_s\": %g,\n  \"rows\": [\n%s\n  ],\n  \"slowdown_8r\": %g\n}\n"
+        duration think
+        (String.concat ",\n"
+           (List.map
+              (fun (n, c, r) ->
+                Printf.sprintf
+                  "    { \"readers\": %d, \"commits_per_s\": %.1f, \"reads_per_s\": %.1f }"
+                  n c r)
+              rows))
+        slowdown);
+  print_endline "results written to BENCH_mvcc.json";
+  print_endline
+    "\nwith the retired global read lock this table collapsed: every reader\n\
+     blocked the writer for its whole scan; snapshot reads leave the commit\n\
+     rate flat (residual slowdown on 1-2 cores is CPU timesharing)."
+
+(* -------------------------------------------------------------- baseline -- *)
+
+(* bench/baseline.json is a flat {"gate": number} object; every gate is a
+   lower-is-better scalar. A run regresses when a measured gate exceeds its
+   baseline by more than 20%. Gates not measured this run are skipped, so
+   quick CI invocations can gate on a subset. *)
+let baseline_pairs s =
+  let n = String.length s in
+  let pairs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '"' then begin
+      let j = String.index_from s (!i + 1) '"' in
+      let key = String.sub s (!i + 1) (j - !i - 1) in
+      let k = ref (j + 1) in
+      while !k < n && s.[!k] <> ':' do incr k done;
+      incr k;
+      while
+        !k < n && (s.[!k] = ' ' || s.[!k] = '\t' || s.[!k] = '\n' || s.[!k] = '\r')
+      do
+        incr k
+      done;
+      let e = ref !k in
+      while
+        !e < n
+        && (match s.[!e] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr e
+      done;
+      if !e > !k then
+        pairs := (key, float_of_string (String.sub s !k (!e - !k))) :: !pairs;
+      i := max (!e) (j + 1)
+    end
+    else incr i
+  done;
+  List.rev !pairs
+
+let check_baseline path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base = baseline_pairs s in
+  let ok = ref true in
+  Printf.printf "\nbaseline gate (%s): measured <= baseline * 1.20\n" path;
+  List.iter
+    (fun (k, b) ->
+      match List.assoc_opt k !gates with
+      | None ->
+        Printf.printf "  %-26s baseline %8.3f   (not measured this run)\n" k b
+      | Some v ->
+        let limit = b *. 1.2 in
+        let pass = v <= limit in
+        if not pass then ok := false;
+        Printf.printf "  %-26s measured %8.3f vs limit %8.3f  %s\n" k v limit
+          (if pass then "OK" else "REGRESSION"))
+    base;
+  !ok
+
 (* ------------------------------------------------------------------ main -- *)
 
 let parse_scales s = List.map float_of_string (String.split_on_char ',' s)
@@ -568,15 +738,21 @@ let () =
   let scales = ref [ 0.0005; 0.005; 0.05; 0.2 ] in
   let quota = ref 0.25 in
   let ops = ref 150 in
+  let duration = ref 2.0 in
+  let baseline = ref "" in
   let spec =
     [ ( "--scales",
         Arg.String (fun s -> scales := parse_scales s),
         "comma-separated XMark scale factors (default 0.0005,0.005,0.05,0.2)" );
       ("--quota", Arg.Set_float quota, "seconds of sampling per query (default 0.25)");
-      ("--ops", Arg.Set_int ops, "operations per writer in the concurrency bench") ]
+      ("--ops", Arg.Set_int ops, "operations per writer in the concurrency bench");
+      ("--duration", Arg.Set_float duration, "seconds per row in the mvcc bench (default 2)");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "gate file: fail (exit 1) when a measured gate exceeds baseline by >20%" ) ]
   in
   Arg.parse spec (fun x -> experiments := x :: !experiments)
-    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|ordpath|storage|all]*";
+    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|mvcc|ordpath|storage|all]*";
   let chosen = match !experiments with [] -> [ "all" ] | l -> List.rev l in
   let want name = List.mem name chosen || List.mem "all" chosen in
   if want "fig9" then run_fig9 ~scales:!scales ~quota:!quota;
@@ -585,6 +761,7 @@ let () =
   if want "shift-cost" then run_shift_cost ~sizes:[ 2_000; 10_000; 50_000; 250_000 ];
   if want "insert-cost" then run_insert_cost ();
   if want "concurrency" then run_concurrency ~ops_per_writer:!ops;
+  if want "mvcc" then run_mvcc ~duration:!duration;
   if want "ordpath" then run_ordpath ();
   if want "rdbms" then
     run_rdbms ~scale:(List.fold_left max 0.0005 !scales /. 5.0) ~quota:!quota;
@@ -597,4 +774,5 @@ let () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Obs.render_json (Obs.snapshot ())));
-  Printf.printf "\nmetrics registry written to %s\n" obs_out
+  Printf.printf "\nmetrics registry written to %s\n" obs_out;
+  if !baseline <> "" && not (check_baseline !baseline) then exit 1

@@ -1,9 +1,17 @@
 (* xqdb — command-line front end to the updatable pre/post-plane XML store.
 
    Subcommands: query, xquery, update, stats, xmark, metrics, checkpoint,
-   recover. *)
+   recover, concurrent.
+
+   Built on the result API (Db.query_r / Db.update_r / Db.open_recovered_r
+   and Db.Session): every expected failure arrives as a Db.Error.t, so error
+   handling is one match per subcommand instead of a catch per exception. *)
 
 open Cmdliner
+
+let report_error e =
+  Printf.eprintf "%s\n" (Core.Db.Error.to_string e);
+  1
 
 let read_file path =
   let ic = open_in_bin path in
@@ -79,23 +87,30 @@ let query_cmd =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
         let code =
-          match Core.Db.query db xpath with
-          | items ->
-            if count_only then Printf.printf "%d\n" (List.length items)
-            else
-              Core.Db.read db (fun v ->
-                  let module Ser = Core.Node_serialize.Make (Core.View) in
-                  List.iter
-                    (fun item ->
-                      match item with
-                      | Core.Db.E.Node pre -> print_endline (Ser.subtree_to_string v pre)
-                      | Core.Db.E.Attribute { qn; value; _ } ->
-                        Printf.printf "%s=\"%s\"\n" (Xml.Qname.to_string qn) value)
-                    items);
-            0
-          | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
-            Printf.eprintf "xpath error at offset %d: %s\n" pos msg;
-            1
+          (* One session: the query and the serialisation of its results
+             read the same pinned snapshot. *)
+          match
+            Core.Db.read_txn db (fun s ->
+                match Core.Db.Session.query_r s xpath with
+                | Error _ as e -> e
+                | Ok items ->
+                  if count_only then Printf.printf "%d\n" (List.length items)
+                  else begin
+                    let module Ser = Core.Node_serialize.Make (Core.View) in
+                    let v = Core.Db.Session.view s in
+                    List.iter
+                      (fun item ->
+                        match item with
+                        | Core.Db.E.Node pre ->
+                          print_endline (Ser.subtree_to_string v pre)
+                        | Core.Db.E.Attribute { qn; value; _ } ->
+                          Printf.printf "%s=\"%s\"\n" (Xml.Qname.to_string qn) value)
+                      items
+                  end;
+                  Ok ())
+          with
+          | Ok () -> 0
+          | Error e -> report_error e
         in
         dump_metrics metrics;
         code)
@@ -152,24 +167,20 @@ let update_cmd =
     protect_parse (fun () ->
         let db = load ?wal_path:wal ~page_bits ~fill path in
         let code =
-          match
-            let src =
-              parse_xml_file ~what:"xupdate" xupdate (fun src ->
-                  (* parse eagerly so malformed XUpdate XML reports
-                     file:line:col like any other input file *)
-                  ignore (Xml.Xml_parser.parse src);
-                  src)
-            in
-            Core.Db.update db src
-          with
-          | n ->
+          let src =
+            parse_xml_file ~what:"xupdate" xupdate (fun src ->
+                (* parse eagerly so malformed XUpdate XML reports
+                   file:line:col like any other input file *)
+                ignore (Xml.Xml_parser.parse src);
+                src)
+          in
+          match Core.Db.update_r db src with
+          | Ok n ->
             Printf.eprintf "%d target(s) updated\n" n;
             let xml = Core.Db.to_xml db in
             (match output with None -> print_endline xml | Some out -> write_file out xml);
             0
-          | exception Core.Xupdate.Parse_error m | exception Core.Xupdate.Apply_error m ->
-            Printf.eprintf "xupdate error: %s\n" m;
-            1
+          | Error e -> report_error e
         in
         Core.Db.close db;
         dump_metrics metrics;
@@ -261,23 +272,15 @@ let metrics_cmd =
             let code = ref 0 in
             List.iter
               (fun q ->
-                match Core.Db.query_count db q with
-                | n -> Printf.eprintf "query %s: %d item(s)\n" q n
-                | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
-                  Printf.eprintf "xpath error at offset %d: %s\n" pos msg;
-                  code := 1)
+                match Core.Db.query_r db q with
+                | Ok items -> Printf.eprintf "query %s: %d item(s)\n" q (List.length items)
+                | Error e -> code := report_error e)
               queries;
             List.iter
               (fun u ->
-                match Core.Db.update db (read_file u) with
-                | n -> Printf.eprintf "update %s: %d target(s)\n" u n
-                | exception Xml.Xml_parser.Parse_error { line; col; msg } ->
-                  Printf.eprintf "xupdate parse error: %s:%d:%d: %s\n" u line col msg;
-                  code := 1
-                | exception Core.Xupdate.Parse_error m
-                | exception Core.Xupdate.Apply_error m ->
-                  Printf.eprintf "xupdate error: %s\n" m;
-                  code := 1)
+                match Core.Db.update_r db (read_file u) with
+                | Ok n -> Printf.eprintf "update %s: %d target(s)\n" u n
+                | Error e -> code := report_error e)
               updates;
             Core.Db.close db;
             print_string (render_metrics format);
@@ -331,21 +334,142 @@ let recover_cmd =
            ~doc:"Do not print the recovered document (summary still goes to stderr).")
   in
   let run ck wal output quiet =
-    let db = Core.Db.open_recovered ?wal_path:wal ~checkpoint:ck () in
-    (match Core.Schema_up.check_integrity (Core.Db.store db) with
-    | Ok () -> Printf.eprintf "recovered: %d live nodes, integrity OK\n"
-                 (Core.Schema_up.node_count (Core.Db.store db))
-    | Error m -> Printf.eprintf "recovered but integrity FAILED: %s\n" m);
-    (match output with
-    | Some out -> write_file out (Core.Db.to_xml db)
-    | None -> if not quiet then print_endline (Core.Db.to_xml db));
-    0
+    match Core.Db.open_recovered_r ?wal_path:wal ~checkpoint:ck () with
+    | Error e -> report_error e
+    | Ok db ->
+      (match Core.Schema_up.check_integrity (Core.Db.store db) with
+      | Ok () -> Printf.eprintf "recovered: %d live nodes, integrity OK\n"
+                   (Core.Schema_up.node_count (Core.Db.store db))
+      | Error m -> Printf.eprintf "recovered but integrity FAILED: %s\n" m);
+      (match output with
+      | Some out -> write_file out (Core.Db.to_xml db)
+      | None -> if not quiet then print_endline (Core.Db.to_xml db));
+      0
   in
   let info =
     Cmd.info "recover"
       ~doc:"Recover a store from checkpoint + WAL; print or save the document."
   in
   Cmd.v info Term.(const run $ ck $ wal $ output $ quiet)
+
+(* ------------------------------------------------------------- concurrent *)
+
+(* Readers-vs-writer stress: N domains run XPath scans against pinned
+   snapshots while M systhreads commit XUpdate insert/delete pairs. Run once
+   with zero readers for the baseline commit rate, then with the requested
+   readers — under the retired global read lock the second phase collapsed;
+   with MVCC the two rates should be comparable. *)
+let concurrent_cmd =
+  let readers =
+    Arg.(value & opt int 4 & info [ "readers" ] ~doc:"Reader domains in phase 2.")
+  in
+  let writers =
+    Arg.(value & opt int 1 & info [ "writers" ] ~doc:"Writer threads in both phases.")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~doc:"Seconds per phase.")
+  in
+  let query =
+    Arg.(
+      value & opt string "/*/*"
+      & info [ "q"; "query" ] ~doc:"XPath each reader evaluates in a loop.")
+  in
+  let think =
+    Arg.(
+      value & opt float 0.05
+      & info [ "think" ]
+          ~doc:
+            "Pause (seconds) between reader queries. Keeps reader domains \
+             from saturating the CPU, so the reported slowdown measures lock \
+             interference rather than core timesharing (set 0 for a raw \
+             CPU-bound stress).")
+  in
+  let stress db ~readers ~writers ~duration ~query ~think =
+    let stop = Atomic.make false in
+    let reads = Atomic.make 0
+    and commits = Atomic.make 0
+    and aborts = Atomic.make 0
+    and read_errors = Atomic.make 0 in
+    let reader () =
+      while not (Atomic.get stop) do
+        (match Core.Db.query_r db query with
+        | Ok _ -> Atomic.incr reads
+        | Error _ -> Atomic.incr read_errors);
+        if think > 0.0 then Unix.sleepf think
+      done
+    in
+    let writer i =
+      let tag = Printf.sprintf "stress%d" i in
+      let add =
+        Printf.sprintf
+          {|<xupdate:modifications><xupdate:append select="/*"><%s/></xupdate:append></xupdate:modifications>|}
+          tag
+      in
+      let del =
+        Printf.sprintf
+          {|<xupdate:modifications><xupdate:remove select="/*/%s[1]"/></xupdate:modifications>|}
+          tag
+      in
+      let adding = ref true in
+      while not (Atomic.get stop) do
+        match Core.Db.update_r db (if !adding then add else del) with
+        | Ok _ ->
+          Atomic.incr commits;
+          adding := not !adding
+        | Error (Core.Db.Error.Aborted _) -> Atomic.incr aborts
+        | Error (Core.Db.Error.Apply _) -> adding := true
+        | Error e ->
+          prerr_endline (Core.Db.Error.to_string e);
+          Atomic.set stop true
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let rd = List.init readers (fun _ -> Domain.spawn reader) in
+    let wt = List.init writers (fun i -> Thread.create writer i) in
+    Thread.delay duration;
+    Atomic.set stop true;
+    List.iter Thread.join wt;
+    List.iter Domain.join rd;
+    let dt = Unix.gettimeofday () -. t0 in
+    ( float_of_int (Atomic.get commits) /. dt,
+      float_of_int (Atomic.get reads) /. dt,
+      Atomic.get aborts,
+      Atomic.get read_errors )
+  in
+  let run path readers writers duration query think page_bits fill metrics =
+    protect_parse (fun () ->
+        let db = load ~page_bits ~fill path in
+        let base_commit_rate, _, base_aborts, _ =
+          stress db ~readers:0 ~writers ~duration ~query ~think
+        in
+        Printf.printf "phase 1 (%d writer(s), 0 readers): %.0f commits/s (%d aborts)\n%!"
+          writers base_commit_rate base_aborts;
+        let commit_rate, read_rate, aborts, read_errors =
+          stress db ~readers ~writers ~duration ~query ~think
+        in
+        Printf.printf
+          "phase 2 (%d writer(s), %d reader(s)): %.0f commits/s, %.0f reads/s (%d aborts)\n"
+          writers readers commit_rate read_rate aborts;
+        let ratio = if commit_rate > 0.0 then base_commit_rate /. commit_rate else infinity in
+        Printf.printf "commit slowdown with readers: %.2fx\n" ratio;
+        Printf.printf "read-path errors: %d\n" read_errors;
+        (match Core.Schema_up.check_integrity (Core.Db.store db) with
+        | Ok () -> print_endline "integrity: OK"
+        | Error m -> Printf.printf "integrity FAILED: %s\n" m);
+        dump_metrics metrics;
+        if read_errors > 0 then 1 else 0)
+  in
+  let info =
+    Cmd.info "concurrent"
+      ~doc:
+        "Stress snapshot isolation: reader domains scanning concurrently with \
+         writer threads; reports commit/read throughput with and without \
+         readers."
+  in
+  Cmd.v info
+    Term.(
+      const run $ doc_arg $ readers $ writers $ duration $ query $ think
+      $ page_bits $ fill $ metrics_flag)
 
 let () =
   let info =
@@ -354,4 +478,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ query_cmd; xquery_cmd; update_cmd; stats_cmd; xmark_cmd;
-                       metrics_cmd; checkpoint_cmd; recover_cmd ]))
+                       metrics_cmd; checkpoint_cmd; recover_cmd; concurrent_cmd ]))

@@ -20,7 +20,7 @@ let () =
         </library>|}
   in
 
-  (* 2. Query with XPath. Reads run under a shared global lock. *)
+  (* 2. Query with XPath. Reads pin an MVCC snapshot — no lock held. *)
   print_endline "== titles of post-2000 books ==";
   List.iter print_endline
     (Core.Db.query_strings db "//book[@year > 2000]/title/text()");
@@ -28,7 +28,7 @@ let () =
   Printf.printf "books in total: %d\n" (Core.Db.query_count db "//book");
 
   (* 3. Update with XUpdate. Each call is one ACID transaction: staged
-     privately, validated, committed under the global write lock. *)
+     privately, validated, committed behind the manager's commit mutex. *)
   let n =
     Core.Db.update db
       {|<xupdate:modifications>

@@ -1,4 +1,9 @@
-type t = { pbits : int; log_to_phys : Varray.t; phys_to_log : Varray.t }
+type t = {
+  pbits : int;
+  mutable log_to_phys : Varray.t;
+  mutable phys_to_log : Varray.t;
+  mutable shared : bool;
+}
 
 let m_splices =
   Obs.counter ~help:"pageOffset splice operations" "pagemap.splices"
@@ -13,7 +18,10 @@ let m_shifted =
 
 let create ~bits =
   if bits < 1 || bits > 30 then invalid_arg "Pagemap.create: bits out of [1,30]";
-  { pbits = bits; log_to_phys = Varray.create (); phys_to_log = Varray.create () }
+  { pbits = bits;
+    log_to_phys = Varray.create ();
+    phys_to_log = Varray.create ();
+    shared = false }
 
 let bits m = m.pbits
 
@@ -23,7 +31,25 @@ let npages m = Varray.length m.log_to_phys
 
 let capacity m = npages m lsl m.pbits
 
+(* Copy-on-write: [freeze] hands out an O(1) aliasing snapshot and marks both
+   handles shared; the first structural mutation through either handle clones
+   the backing varrays first, so frozen snapshots stay immutable forever. *)
+let unshare m =
+  if m.shared then begin
+    m.log_to_phys <- Varray.copy m.log_to_phys;
+    m.phys_to_log <- Varray.copy m.phys_to_log;
+    m.shared <- false
+  end
+
+let freeze m =
+  m.shared <- true;
+  { pbits = m.pbits;
+    log_to_phys = m.log_to_phys;
+    phys_to_log = m.phys_to_log;
+    shared = true }
+
 let append_page m =
+  unshare m;
   let phys = Varray.length m.phys_to_log in
   let logical = Varray.push m.log_to_phys phys in
   let _ = Varray.push m.phys_to_log logical in
@@ -35,6 +61,7 @@ let splice m ~at ~count =
   if count < 0 then invalid_arg "Pagemap.splice: bad count";
   if count = 0 then []
   else begin
+    unshare m;
     Obs.inc m_splices;
     Obs.add m_spliced_pages count;
     Obs.observe m_shifted (float_of_int (n - at));
@@ -77,7 +104,8 @@ let is_identity m =
 let copy m =
   { pbits = m.pbits;
     log_to_phys = Varray.copy m.log_to_phys;
-    phys_to_log = Varray.copy m.phys_to_log }
+    phys_to_log = Varray.copy m.phys_to_log;
+    shared = false }
 
 let to_array m = Varray.to_array m.log_to_phys
 
@@ -93,7 +121,8 @@ let of_array ~bits a =
   let m =
     { pbits = bits;
       log_to_phys = Varray.of_array a;
-      phys_to_log = Varray.make n 0 }
+      phys_to_log = Varray.make n 0;
+      shared = false }
   in
   Array.iteri (fun logical phys -> Varray.set m.phys_to_log phys logical) a;
   m

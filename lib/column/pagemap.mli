@@ -67,6 +67,14 @@ val is_identity : t -> bool
 val copy : t -> t
 (** Private copy — a transaction's private pageOffset table. *)
 
+val freeze : t -> t
+(** O(1) copy-on-write snapshot. The returned handle aliases the live
+    permutation but is guaranteed never to observe a later mutation: the
+    first {!append_page}/{!splice} through {e either} handle clones the
+    backing arrays first. Used by MVCC version descriptors, which must pin
+    the pageOffset as of one commit without paying an O(#pages) copy on
+    every commit. *)
+
 val to_array : t -> int array
 (** The logical→physical permutation, for WAL records / checkpoints. *)
 

@@ -5,6 +5,48 @@ type t = {
 }
 
 module E = Engine.Make (View)
+module Ser = Node_serialize.Make (View)
+
+(* ---------------------------------------------------------------- errors -- *)
+
+module Error = struct
+  type t =
+    | Parse of { source : string; msg : string }
+    | Aborted of string
+    | Apply of string
+    | Corrupt of string
+    | Io of string
+
+  let to_string = function
+    | Parse { source; msg } -> Printf.sprintf "%s error: %s" source msg
+    | Aborted msg -> "transaction aborted: " ^ msg
+    | Apply msg -> "update failed: " ^ msg
+    | Corrupt msg -> "corrupt store: " ^ msg
+    | Io msg -> "i/o error: " ^ msg
+end
+
+(* One funnel from the four unrelated exception families the legacy entry
+   points raise to the unified [Error.t]. Unknown exceptions still escape:
+   they are bugs, not results. *)
+let capture f =
+  match f () with
+  | v -> Ok v
+  | exception Xpath.Xpath_parser.Syntax_error { pos; msg } ->
+    Error (Error.Parse { source = "xpath"; msg = Printf.sprintf "at %d: %s" pos msg })
+  | exception Xml.Xml_parser.Parse_error { line; col; msg } ->
+    Error (Error.Parse { source = "xml"; msg = Printf.sprintf "%d:%d: %s" line col msg })
+  | exception Xupdate.Parse_error msg ->
+    Error (Error.Parse { source = "xupdate"; msg })
+  | exception Xupdate.Apply_error msg -> Error (Error.Apply msg)
+  | exception Txn.Aborted msg -> Error (Error.Aborted msg)
+  | exception Lock.Would_deadlock { owner; page } ->
+    Error
+      (Error.Aborted (Printf.sprintf "deadlock: page %d held by txn %d" page owner))
+  | exception Column.Persist.Dec.Corrupt msg -> Error (Error.Corrupt msg)
+  | exception Failure msg -> Error (Error.Corrupt msg)
+  | exception Sys_error msg -> Error (Error.Io msg)
+
+(* ------------------------------------------------------------- lifecycle -- *)
 
 let create ?page_bits ?fill ?wal_path ?schema doc =
   let base = Schema_up.of_dom ?page_bits ?fill doc in
@@ -18,17 +60,21 @@ let store t = Txn.store t.mgr
 
 let manager t = t.mgr
 
-let checkpoint t path =
-  (* Taken under the global read lock: a consistent committed snapshot, with
-     the LSN so recovery skips WAL records the snapshot already contains. *)
-  Txn.read t.mgr (fun _ ->
+let checkpoint ?(truncate_wal = false) t path =
+  (* Commits are excluded for the duration (Txn.exclusive): the snapshot is
+     a consistent committed state at the recorded LSN, and — when requested —
+     no commit can slip a WAL frame in between the checkpoint becoming
+     durable and the log rotation, so rotation never loses a commit.
+     Snapshot readers are not blocked. *)
+  Txn.exclusive t.mgr (fun _ ->
       let enc = Column.Persist.Enc.create () in
       Column.Persist.Enc.int enc (Txn.last_committed t.mgr);
       Schema_up.save (store t) enc;
       let oc = open_out_bin path in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> Column.Persist.write_frame oc (Column.Persist.Enc.contents enc)))
+        (fun () -> Column.Persist.write_frame oc (Column.Persist.Enc.contents enc));
+      if truncate_wal then Option.iter Wal.rotate t.wal_handle)
 
 let open_recovered ?wal_path ?schema ~checkpoint () =
   let ic = open_in_bin checkpoint in
@@ -48,7 +94,12 @@ let open_recovered ?wal_path ?schema ~checkpoint () =
   let wal_handle = Some (Wal.open_log wal_path) in
   { mgr = Txn.manager ?wal:wal_handle ~next_txn:(last + 1) base; schema; wal_handle }
 
+let open_recovered_r ?wal_path ?schema ~checkpoint () =
+  capture (fun () -> open_recovered ?wal_path ?schema ~checkpoint ())
+
 let close t = Option.iter Wal.close t.wal_handle
+
+(* --------------------------------------------------------------- queries -- *)
 
 let read t f = Txn.read t.mgr f
 
@@ -57,15 +108,17 @@ let query t src =
       let path = Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src) in
       read t (fun v -> Obs.Span.with_ "engine.eval" (fun () -> E.eval_items v path)))
 
+let query_r t src = capture (fun () -> query t src)
+
 let query_strings t src =
   let path = Xpath.Xpath_parser.parse src in
   read t (fun v -> List.map (E.item_string v) (E.eval_items v path))
 
 let query_count t src = List.length (query t src)
 
-let to_xml ?indent t =
-  let module Ser = Node_serialize.Make (View) in
-  read t (fun v -> Ser.to_string ?indent v)
+let to_xml ?indent t = read t (fun v -> Ser.to_string ?indent v)
+
+(* --------------------------------------------------------------- updates -- *)
 
 let with_write t f =
   let validate = Option.map Validate.checker t.schema in
@@ -77,6 +130,48 @@ let update t src =
       with_write t (fun v ->
           Obs.Span.with_ "xupdate.apply" (fun () -> Xupdate.apply v cmds)))
 
+let update_r t src = capture (fun () -> update t src)
+
+(* -------------------------------------------------------------- sessions -- *)
+
+module Session = struct
+  type t = { v : View.t; writable : bool }
+
+  let view s = s.v
+
+  let writable s = s.writable
+
+  let query s src = E.eval_items s.v (Xpath.Xpath_parser.parse src)
+
+  let query_r s src = capture (fun () -> query s src)
+
+  let count s src = List.length (query s src)
+
+  let strings s src =
+    List.map (E.item_string s.v) (E.eval_items s.v (Xpath.Xpath_parser.parse src))
+
+  let serialize ?indent s = Ser.to_string ?indent s.v
+
+  let item_string s item = E.item_string s.v item
+
+  let update s src =
+    if not s.writable then
+      invalid_arg "Db.Session.update: read session (use Db.write_txn)";
+    Xupdate.apply s.v (Xupdate.parse src)
+
+  let update_r s src = capture (fun () -> update s src)
+end
+
+let read_txn t f = Txn.read t.mgr (fun v -> f { Session.v = v; writable = false })
+
+let write_txn t f = with_write t (fun v -> f { Session.v = v; writable = true })
+
+let read_txn_r t f = capture (fun () -> read_txn t f)
+
+let write_txn_r t f = capture (fun () -> write_txn t f)
+
+(* ----------------------------------------------------------- maintenance -- *)
+
 let vacuum ?fill ?checkpoint_to t =
   (match t.wal_handle, checkpoint_to with
   | Some _, None ->
@@ -84,7 +179,7 @@ let vacuum ?fill ?checkpoint_to t =
       "Db.vacuum: compaction invalidates the WAL; pass ~checkpoint_to"
   | (Some _ | None), _ -> ());
   Txn.vacuum ?fill t.mgr;
-  Option.iter (checkpoint t) checkpoint_to
+  Option.iter (fun path -> checkpoint ~truncate_wal:true t path) checkpoint_to
 
 (* -------------------------------------------------------------- metrics -- *)
 

@@ -2,9 +2,37 @@
 
     Ties the pieces together: shred a document, query it with XPath, update
     it with XUpdate inside transactions, checkpoint to disk, recover from
-    checkpoint + WAL. *)
+    checkpoint + WAL.
+
+    Reads are {e snapshot-isolated} (see {!Version}): a query pins the
+    newest committed version and evaluates with no lock held, so readers
+    never block a committing writer and vice versa.
+
+    Two calling conventions coexist:
+    - the {e result API} — {!Error.t}-returning variants ([query_r],
+      [update_r], [open_recovered_r], [read_txn]/[write_txn] with
+      {!Session}) for callers that want total functions;
+    - the original exception-raising entry points, kept thin and stable for
+      compatibility. *)
 
 type t
+
+(** {1 Errors (result API)} *)
+
+module Error : sig
+  type t =
+    | Parse of { source : string; msg : string }
+        (** XPath / XUpdate / XML syntax error; [source] names the
+            language. *)
+    | Aborted of string
+        (** Transaction rolled back: snapshot conflict, deadlock timeout or
+            schema-validation failure. Retrying is usually appropriate. *)
+    | Apply of string  (** XUpdate targeted a nonexistent or invalid node. *)
+    | Corrupt of string  (** Checkpoint / WAL payload failed to decode. *)
+    | Io of string  (** Operating-system error (missing file, …). *)
+
+  val to_string : t -> string
+end
 
 (** {1 Lifecycle} *)
 
@@ -25,14 +53,27 @@ val of_xml :
 (** [create] from XML text (whitespace-only text is stripped, as for
     benchmark documents). *)
 
-val checkpoint : t -> string -> unit
-(** Write a checkpoint file. The WAL is {e not} truncated — see
-    {!open_recovered} which replays the whole log over any checkpoint. *)
+val checkpoint : ?truncate_wal:bool -> t -> string -> unit
+(** Write a checkpoint file — a consistent committed snapshot taken with
+    commits excluded (snapshot readers keep running). With
+    [~truncate_wal:true] the WAL is rotated to empty {e atomically} once the
+    checkpoint is durable: no commit can intervene between the two, so the
+    checkpoint + empty log carry exactly the same information as the old
+    checkpoint + full log. Default [false] (the historical behaviour: the
+    log grows forever and {!open_recovered} skips already-checkpointed
+    frames by LSN). *)
 
 val open_recovered :
   ?wal_path:string -> ?schema:Validate.t -> checkpoint:string -> unit -> t
 (** Load a checkpoint, replay the intact WAL prefix, and continue logging to
-    [wal_path] (default: the same path). Returns the recovered store. *)
+    [wal_path] (default: the same path). Returns the recovered store.
+    Raises [Failure] / [Sys_error] /
+    [Column.Persist.Dec.Corrupt]; prefer {!open_recovered_r}. *)
+
+val open_recovered_r :
+  ?wal_path:string -> ?schema:Validate.t -> checkpoint:string -> unit ->
+  (t, Error.t) result
+(** Result-returning {!open_recovered}. *)
 
 val store : t -> Schema_up.t
 
@@ -41,12 +82,68 @@ val manager : t -> Txn.manager
 val close : t -> unit
 (** Close the WAL channel (if any). *)
 
-(** {1 Queries (read transactions)} *)
+(** {1 Sessions (result API)}
+
+    A session is one transaction — a pinned read snapshot or one write
+    transaction — exposed as a handle with query/count/serialize (and, for
+    write sessions, update) operations, so multi-statement work runs in a
+    single consistent view without reaching through {!View.t} internals. *)
 
 module E : module type of Engine.Make (View)
 
+module Session : sig
+  type t
+
+  val query : t -> string -> E.item list
+  (** Evaluate an XPath inside the session's transaction. Raises on syntax
+      errors — see {!query_r}. *)
+
+  val query_r : t -> string -> (E.item list, Error.t) result
+
+  val count : t -> string -> int
+
+  val strings : t -> string -> string list
+
+  val item_string : t -> E.item -> string
+
+  val serialize : ?indent:bool -> t -> string
+  (** Serialise the whole document as seen by this session. *)
+
+  val update : t -> string -> int
+  (** Apply an XUpdate document inside this {e write} session; returns the
+      number of affected targets. Raises [Invalid_argument] on a read
+      session, parse/apply exceptions otherwise — see {!update_r}. *)
+
+  val update_r : t -> string -> (int, Error.t) result
+
+  val writable : t -> bool
+
+  val view : t -> View.t
+  (** Escape hatch to the underlying view (e.g. for {!Update} /
+      {!Staircase} interop). *)
+end
+
+val read_txn : t -> (Session.t -> 'a) -> 'a
+(** Run [f] in one read session: a pinned snapshot; every [Session.query]
+    inside sees the same committed state, and no lock is held while [f]
+    runs. *)
+
+val write_txn : t -> (Session.t -> 'a) -> 'a
+(** Run [f] in one write session; commits when [f] returns, aborts on
+    exception (raises {!Txn.Aborted} like {!with_write}). *)
+
+val read_txn_r : t -> (Session.t -> 'a) -> ('a, Error.t) result
+
+val write_txn_r : t -> (Session.t -> 'a) -> ('a, Error.t) result
+(** Result-returning variants: transaction failures land in [Error]. *)
+
+(** {1 Queries (read transactions)} *)
+
 val query : t -> string -> E.item list
-(** Evaluate an XPath under the shared global read lock. *)
+(** Evaluate an XPath against a pinned snapshot (no lock held). Raises
+    {!Xpath.Xpath_parser.Syntax_error} on bad input; prefer {!query_r}. *)
+
+val query_r : t -> string -> (E.item list, Error.t) result
 
 val query_strings : t -> string -> string list
 
@@ -55,36 +152,46 @@ val query_count : t -> string -> int
 val to_xml : ?indent:bool -> t -> string
 (** Serialise the whole document. *)
 
+val read : t -> (View.t -> 'a) -> 'a
+(** Run read-only logic against a pinned snapshot view.
+
+    {b Deprecated} in favour of {!read_txn}, which hands out a {!Session.t}
+    instead of exposing the raw view. Kept for compatibility. *)
+
 (** {1 Updates (write transactions)} *)
 
 val update : t -> string -> int
 (** Parse and apply an XUpdate document in one write transaction; returns
     the number of affected targets. Raises {!Txn.Aborted} on validation
-    failure or deadlock timeout, {!Xupdate.Apply_error} on bad targets. *)
+    failure or deadlock timeout, {!Xupdate.Apply_error} on bad targets;
+    prefer {!update_r}. *)
+
+val update_r : t -> string -> (int, Error.t) result
 
 val with_write : t -> (View.t -> 'a) -> 'a
 (** Run arbitrary update logic (via {!Update} / {!Xupdate}) in one write
-    transaction. *)
+    transaction.
 
-val read : t -> (View.t -> 'a) -> 'a
-(** Run read-only logic under the shared global lock. *)
+    {b Deprecated} in favour of {!write_txn}. Kept for compatibility. *)
 
 (** {1 Maintenance} *)
 
 val vacuum : ?fill:float -> ?checkpoint_to:string -> t -> unit
 (** Compact the store: re-pack live tuples at the [fill] factor (default
     0.8), restore the identity pageOffset, drop attribute tombstones. Node
-    handles stay valid. Compaction physically relocates tuples, which
-    invalidates WAL replay positions, so when a WAL is active a
-    [checkpoint_to] path is required — the checkpoint is written immediately
-    after compaction (raises [Invalid_argument] otherwise). *)
+    handles stay valid. Waits for every pinned snapshot to unpin (do not
+    call from inside {!read}/{!read_txn}). Compaction physically relocates
+    tuples, which invalidates WAL replay positions, so when a WAL is active
+    a [checkpoint_to] path is required — the checkpoint is written
+    immediately after compaction and the WAL is truncated (raises
+    [Invalid_argument] otherwise). *)
 
 (** {1 Observability}
 
     The metrics registry is process-global (see {!Obs}): instruments live in
-    the subsystem modules ([txn.*], [lock.*], [wal.*], [schema_up.*],
-    [pagemap.*], [engine.*]), so these accessors report activity across every
-    store in the process. *)
+    the subsystem modules ([txn.*], [mvcc.*], [lock.*], [wal.*],
+    [schema_up.*], [pagemap.*], [engine.*]), so these accessors report
+    activity across every store in the process. *)
 
 val metrics : t -> Obs.snapshot
 

@@ -165,6 +165,28 @@ let used_in_page t ~phys_page =
   done;
   !used
 
+(* MVCC pre-image: copy one physical page of all five columns, in [col]
+   declaration order (size, level, kind, name, node). Commits call this for
+   every page they are about to overwrite, so a pinned snapshot can keep
+   serving the page's old content after the base store has moved on. *)
+let capture_page t phys =
+  let p = page_size t in
+  let base = phys * p in
+  Array.map
+    (fun col -> Array.init p (fun off -> Varray.get col (base + off)))
+    [| t.size; t.level; t.kind; t.name; t.node |]
+
+(* Append-only high-water marks recorded in version descriptors: a snapshot
+   pinned at commit [k] may only see node ids / attribute rows / pool entries
+   allocated before [k]; entries past the mark belong to later commits. *)
+let pool_hwms t =
+  [| Dict.cardinal t.qn;
+     Dict.cardinal t.props;
+     Strpool.length t.text_pool;
+     Strpool.length t.comment_pool;
+     Strpool.length t.pi_target_pool;
+     Strpool.length t.pi_data_pool |]
+
 (* --------------------------------------------------------- the pre view *)
 
 let extent t = capacity t
@@ -240,8 +262,6 @@ let pi_target t pre =
   | Kind.Element | Kind.Text | Kind.Comment ->
     invalid_arg "Schema_up.pi_target: not a PI"
 
-let qn_id t q = Dict.find_opt t.qn (Xml.Qname.to_string q)
-
 let root_pre t = next_used t 0
 
 (* ------------------------------------------------------- node identity *)
@@ -285,6 +305,13 @@ let pre_of_node t id =
 
 (* ------------------------------------------------ dictionaries and pools *)
 
+(* Domain-safety: [Dict] lookups go through a [Hashtbl], which tolerates
+   neither concurrent resize nor concurrent read-during-write. Snapshot
+   readers run on arbitrary domains while writers intern new names, so the
+   read side takes [shared_mu] too (the critical section is a single hash
+   probe — contention is negligible next to evaluation). *)
+let qn_id t q = locked t (fun () -> Dict.find_opt t.qn (Xml.Qname.to_string q))
+
 let intern_qn t q = locked t (fun () -> Dict.intern t.qn (Xml.Qname.to_string q))
 
 let qn_of_id t id = Xml.Qname.of_string (Dict.to_string t.qn id)
@@ -314,28 +341,34 @@ let pi_data_of_ref t r = Strpool.get t.pi_data_pool r
 
 (* -------------------------------------------------------------- attributes *)
 
+(* The attribute index is a [Hashtbl] keyed by node id; like the dicts it is
+   read by snapshot readers on other domains, so every probe and mutation is
+   a [shared_mu] critical section. *)
 let attr_add t ~node ~qn ~prop =
-  let row = Varray.push t.attr_node node in
-  let _ = Varray.push t.attr_qn qn in
-  let _ = Varray.push t.attr_prop prop in
-  let prev = Option.value ~default:[] (Hashtbl.find_opt t.attr_index node) in
-  Hashtbl.replace t.attr_index node (row :: prev);
-  row
+  locked t (fun () ->
+      let row = Varray.push t.attr_node node in
+      let _ = Varray.push t.attr_qn qn in
+      let _ = Varray.push t.attr_prop prop in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt t.attr_index node) in
+      Hashtbl.replace t.attr_index node (row :: prev);
+      row)
 
 let attr_tombstone t ~row =
-  let node = Varray.get t.attr_node row in
-  if node <> Varray.null then begin
-    Varray.set t.attr_node row Varray.null;
-    match Hashtbl.find_opt t.attr_index node with
-    | None -> ()
-    | Some rows -> (
-      match List.filter (fun r -> r <> row) rows with
-      | [] -> Hashtbl.remove t.attr_index node
-      | rows' -> Hashtbl.replace t.attr_index node rows')
-  end
+  locked t (fun () ->
+      let node = Varray.get t.attr_node row in
+      if node <> Varray.null then begin
+        Varray.set t.attr_node row Varray.null;
+        match Hashtbl.find_opt t.attr_index node with
+        | None -> ()
+        | Some rows -> (
+          match List.filter (fun r -> r <> row) rows with
+          | [] -> Hashtbl.remove t.attr_index node
+          | rows' -> Hashtbl.replace t.attr_index node rows')
+      end)
 
 let attr_rows_of_node t node =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.attr_index node))
+  locked t (fun () ->
+      List.rev (Option.value ~default:[] (Hashtbl.find_opt t.attr_index node)))
 
 let attr_row t row =
   (Varray.get t.attr_node row, Varray.get t.attr_qn row, Varray.get t.attr_prop row)
@@ -599,9 +632,12 @@ let force_pi_target t id s = Strpool.force_set t.pi_target_pool id s
 
 let force_pi_data t id s = Strpool.force_set t.pi_data_pool id s
 
-let force_qn t id s = Dict.force t.qn id s
+(* Dict.force probes/extends the id Hashtbl; live-commit replay runs it
+   concurrently with snapshot readers' qn lookups, so it locks like the
+   other dictionary entry points. *)
+let force_qn t id s = locked t (fun () -> Dict.force t.qn id s)
 
-let force_prop t id s = Dict.force t.props id s
+let force_prop t id s = locked t (fun () -> Dict.force t.props id s)
 
 (* -------------------------------------------------------------- integrity *)
 

@@ -93,8 +93,21 @@ val page_stamp : t -> int -> int
     ("first-committer-wins" read validation, see {!Txn}). *)
 
 val stamp_page : t -> int -> int -> unit
-(** [stamp_page t phys lsn] — called by the commit apply path, under the
-    global write lock, {e before} the page's data changes. *)
+(** [stamp_page t phys lsn] — called by the commit apply path, inside the
+    commit critical section, {e before} the page's data changes. *)
+
+val capture_page : t -> int -> int array array
+(** [capture_page t phys] copies one physical page of all five columns, in
+    {!col} declaration order ([size; level; kind; name; node]), each of
+    length [page_size]. The commit path calls this for every page it is
+    about to overwrite so pinned MVCC snapshots can keep reading the
+    pre-image (see {!Version}). *)
+
+val pool_hwms : t -> int array
+(** Append-only high-water marks
+    [qn; props; text; comment; pi_target; pi_data] recorded in version
+    descriptors: entries past the mark were allocated by later commits and
+    are invisible to a snapshot pinned before them. *)
 
 (** {1 Node identity (node/pos table)} *)
 

@@ -4,6 +4,11 @@ type manager = {
   base : Schema_up.t;
   locks : Lock.t;
   wal_log : Wal.t option;
+  versions : Version.store;
+  commit_mu : Mutex.t;
+      (* Serialises commit application, begin-snapshots, vacuum and
+         checkpoint — the paper's short "install the new pageOffset"
+         critical section. Readers NEVER take it: they pin a version. *)
   mutable next_txn : int;
   mutable last_commit : int;
   id_mu : Mutex.t;
@@ -13,6 +18,8 @@ let manager ?wal ?(lock_timeout_s = 1.0) ?(next_txn = 1) base =
   { base;
     locks = Lock.create ~timeout_s:lock_timeout_s ();
     wal_log = wal;
+    versions = Version.create ~epoch:(next_txn - 1) base;
+    commit_mu = Mutex.create ();
     next_txn;
     last_commit = next_txn - 1;
     id_mu = Mutex.create () }
@@ -24,6 +31,14 @@ let store m = m.base
 let lock_table m = m.locks
 
 let wal m = m.wal_log
+
+let versions m = m.versions
+
+let with_commit_mu m f =
+  Mutex.lock m.commit_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.commit_mu) f
+
+let exclusive m f = with_commit_mu m (fun () -> f (View.direct m.base))
 
 exception Aborted of string
 
@@ -46,9 +61,16 @@ let m_commit_latency =
 
 let m_reads = Obs.counter ~help:"read transactions run" "txn.reads"
 
+(* Snapshot-isolated read: pin the newest version and evaluate against it.
+   No lock is held during [f] — a long scan never delays a commit, and a
+   burst of commits never starves the scan (it keeps reading its pinned
+   epoch through the undo chain). *)
 let read m f =
   Obs.inc m_reads;
-  Lock.with_global_read m.locks (fun () -> f (View.direct m.base))
+  let v = Version.pin m.versions in
+  Fun.protect
+    ~finally:(fun () -> Version.unpin m.versions v)
+    (fun () -> f (View.snapshot v))
 
 type state = Active | Committed | Rolled_back
 
@@ -94,11 +116,11 @@ let begin_write m =
     check page
   in
   (* The pageOffset snapshot must be consistent with the snapshot LSN: take
-     both under the shared global lock, excluding mid-flight commits. *)
+     both under the commit mutex, excluding mid-flight commits. *)
   let v =
-    Lock.with_global_read m.locks (fun () ->
+    with_commit_mu m (fun () ->
         snapshot := m.last_commit;
-        View.staged ~touch m.base)
+        View.staged ~touch ~seq:(Version.seq m.versions) m.base)
   in
   { m; txn_id; v; held; state = Active }
 
@@ -316,6 +338,28 @@ let build_record t (st : View.staged) =
     pool = List.rev st.View.pool_log;
     live_delta = st.View.live_delta }
 
+(* Pre-image capture for MVCC: everything [apply_wal_record] is about to
+   overwrite on the base gets copied into the current newest version first,
+   so pinned snapshots keep resolving the old content through the chain.
+   Enumerated from the WAL record — the exact description of the commit.
+   (Fresh pages need no pre-image and are filtered by the descriptor's page
+   extent; attribute adds land past the attr high-water mark; page stamps
+   are only read by writers' conflict checks and need no versioning.) *)
+let capture_for_snapshot m (r : Wal.record) =
+  let vs = m.versions in
+  let p = Schema_up.page_size m.base in
+  List.iter (fun (pos, _, _) -> Version.capture_page vs (pos / p)) r.Wal.cells;
+  List.iter
+    (fun (node, _) ->
+      if node < Schema_up.node_ids m.base then begin
+        let pos = Schema_up.node_pos_get m.base node in
+        if pos <> Varray.null then Version.capture_page vs (pos / p)
+      end)
+    r.Wal.size_deltas;
+  List.iter (fun (node, _) -> Version.capture_node vs node) r.Wal.node_pos;
+  List.iter (fun node -> Version.capture_node vs node) r.Wal.freed_nodes;
+  List.iter (fun row -> Version.capture_attr vs row) r.Wal.attr_dels
+
 let commit ?validate t =
   check_active t "Txn.commit";
   match View.staged_state t.v with
@@ -332,14 +376,23 @@ let commit ?validate t =
         raise (Aborted ("validation failed: " ^ msg))));
     let t0 = Obs.now () in
     match
-      Lock.with_global_write t.m.locks (fun () ->
+      with_commit_mu t.m (fun () ->
           let record = build_record t st in
           (* The WAL write is the commit point: a single flushed frame. *)
           (match t.m.wal_log with
           | None -> ()
           | Some w -> Wal.append w record);
           let lsn = t.m.last_commit + 1 in
-          apply_wal_record ~lsn t.m.base record;
+          (* Short MVCC critical section: flip the seqlock odd, capture the
+             pre-images, apply in place, install the new version. Readers
+             pinned at older versions retry any read overlapping this
+             window and then resolve through the captured overlays. *)
+          let cs0 = Version.commit_begin t.m.versions in
+          Fun.protect
+            ~finally:(fun () -> Version.commit_end t.m.versions ~epoch:lsn cs0)
+            (fun () ->
+              capture_for_snapshot t.m record;
+              apply_wal_record ~lsn t.m.base record);
           t.m.last_commit <- lsn)
     with
     | () ->
@@ -370,15 +423,23 @@ let with_write m ?validate f =
     if t.state = Active then abort t;
     raise e
 
+(* Compaction relocates tuples physically, which no pre-image overlay can
+   describe, so vacuum waits for reader quiescence: commits are excluded by
+   the commit mutex, new pins block on the version store, and every pinned
+   snapshot must unpin before compaction starts. Stamping all pages at a
+   fresh LSN aborts any concurrently staged transaction (its whole snapshot
+   is invalid). *)
 let vacuum ?fill m =
-  Lock.with_global_write m.locks (fun () ->
-      Schema_up.compact ?fill m.base;
-      let lsn = m.last_commit + 1 in
-      for page = 0 to Schema_up.npages m.base - 1 do
-        Schema_up.stamp_page m.base page lsn
-      done;
-      m.last_commit <- lsn;
-      if m.next_txn <= lsn then m.next_txn <- lsn + 1)
+  with_commit_mu m (fun () ->
+      Version.quiesce m.versions (fun () ->
+          Schema_up.compact ?fill m.base;
+          let lsn = m.last_commit + 1 in
+          for page = 0 to Schema_up.npages m.base - 1 do
+            Schema_up.stamp_page m.base page lsn
+          done;
+          m.last_commit <- lsn;
+          if m.next_txn <= lsn then m.next_txn <- lsn + 1;
+          lsn))
 
 let recover ?(after = 0) ~wal_path b =
   let applied = ref 0 and last = ref after in

@@ -1,17 +1,21 @@
 (** The transaction protocol of Figure 8: multi-version strict two-phase
     locking with write-ahead logging.
 
-    - Read-only work runs under the shared global lock against the base
-      store and never blocks on writers staging changes.
+    - Read-only work pins an MVCC version descriptor ({!Version}) and
+      evaluates against that immutable snapshot — {e no} lock is held
+      during evaluation, so long scans never delay commits and commit
+      bursts never starve readers.
     - A write transaction stages everything in a {!View.t} (copy-on-write
       differential lists, privately staged pages, a private pageOffset), and
       takes page locks incrementally — read locks while navigating, write
       locks on pages it rewrites.  Ancestor size changes travel as
       commutative deltas and take {e no} locks, so the root is never a
       bottleneck.
-    - Commit: optional validation, then the global write lock, one WAL
-      frame, carry the differential lists through to the base, install the
-      new pageOffset table, release.
+    - Commit: optional validation, then the manager's commit mutex, one WAL
+      frame, a short seqlock critical section that captures pre-images for
+      pinned snapshots and carries the differential lists through to the
+      base, install the new pageOffset table and version descriptor,
+      release.
     - Abort (or a {!Lock.Would_deadlock} timeout): drop the staged view,
       return fresh node ids to the allocator; the base was never touched.
 
@@ -34,6 +38,15 @@ val lock_table : manager -> Lock.t
 
 val wal : manager -> Wal.t option
 
+val versions : manager -> Version.store
+(** The MVCC version chain ([mvcc.*] metrics, pin/unpin bookkeeping). *)
+
+val exclusive : manager -> (View.t -> 'a) -> 'a
+(** Run [f] on a direct view with commits excluded (the commit mutex is
+    held) — for maintenance that must observe a quiescent base without
+    blocking snapshot readers, e.g. writing a checkpoint. Do not call from
+    inside a transaction or another exclusive section. *)
+
 exception Aborted of string
 (** The transaction was rolled back (deadlock timeout, validation failure,
     or an exception in the body of {!with_write}). *)
@@ -48,7 +61,10 @@ exception Conflict of { page : int; stamp : int; snapshot : int }
 (** {1 Read-only transactions} *)
 
 val read : manager -> (View.t -> 'a) -> 'a
-(** Run under the shared global lock against a direct view. *)
+(** Pin the newest version and run [f] against a snapshot view of it. [f]
+    holds no lock and observes exactly the store as of the pinned commit,
+    regardless of concurrent commits. The pin is released when [f]
+    returns. *)
 
 (** {1 Write transactions} *)
 
@@ -64,7 +80,7 @@ val view : t -> View.t
     changes. *)
 
 val commit : ?validate:(View.t -> (unit, string) result) -> t -> unit
-(** Figure 8's commit sequence. [validate] runs before the global lock is
+(** Figure 8's commit sequence. [validate] runs before the commit mutex is
     taken; a failure aborts (raises {!Aborted}). Committing or aborting
     twice raises [Invalid_argument]. *)
 
@@ -76,11 +92,14 @@ val with_write :
     timeout or any exception from the body. *)
 
 val vacuum : ?fill:float -> manager -> unit
-(** Compact the store (see {!Schema_up.compact}) under the global write
-    lock; every physical page is stamped with a fresh LSN so in-flight
-    transactions conflict-and-retry rather than observe moved tuples.
-    The WAL (if any) is invalidated by compaction — take a checkpoint
-    right after (as {!Db.vacuum} does). *)
+(** Compact the store (see {!Schema_up.compact}). Commits are excluded by
+    the commit mutex and the call {e blocks until every pinned snapshot
+    unpins} (compaction physically relocates tuples, which no pre-image
+    overlay can describe); every physical page is then stamped with a fresh
+    LSN so in-flight transactions conflict-and-retry rather than observe
+    moved tuples. Do not call while holding a pin (self-deadlock). The WAL
+    (if any) is invalidated by compaction — take a checkpoint right after
+    (as {!Db.vacuum} does). *)
 
 (** {1 Recovery} *)
 

@@ -28,12 +28,28 @@ type staged = {
 type t = {
   b : Schema_up.t;
   st : staged option;
+  snap : Version.t option; (* pinned MVCC snapshot (read-only) *)
+  seq : int Atomic.t option; (* seqlock guarding base reads against commits *)
   base_attr_len : int; (* attr-table snapshot boundary for staged reads *)
 }
 
-let direct b = { b; st = None; base_attr_len = 0 }
+let direct b = { b; st = None; snap = None; seq = None; base_attr_len = 0 }
 
-let staged ?(touch = fun _ _ -> ()) b =
+let snapshot vs =
+  { b = Version.base vs; st = None; snap = Some vs; seq = None; base_attr_len = 0 }
+
+(* Base reads of staged and snapshot views must not observe a commit's
+   half-applied state; [stable] retries them through the store seqlock.
+   Direct views skip it — they are single-owner by construction. *)
+let stable v f =
+  match v.snap with
+  | Some vs -> Version.stable vs f
+  | None -> (
+    match v.seq with Some sq -> Version.stable_seq sq f | None -> f ())
+
+let ro_err what = invalid_arg ("View." ^ what ^ ": snapshot views are read-only")
+
+let staged ?(touch = fun _ _ -> ()) ?seq b =
   let st =
     { base_npages = Schema_up.npages b;
       cells = Hashtbl.create 64;
@@ -54,7 +70,7 @@ let staged ?(touch = fun _ _ -> ()) b =
   in
   (* The attr table length is snapshotted so pseudo row ids for staged adds
      never clash with rows appended by transactions that commit later. *)
-  { b; st = Some st; base_attr_len = Schema_up.attr_table_len b }
+  { b; st = Some st; snap = None; seq; base_attr_len = Schema_up.attr_table_len b }
 
 let base v = v.b
 
@@ -67,7 +83,10 @@ let page_bits v = Schema_up.page_bits v.b
 let page_size v = Schema_up.page_size v.b
 
 let npages v =
-  match v.st with None -> Schema_up.npages v.b | Some st -> st.base_npages + st.sp_len
+  match v.snap, v.st with
+  | Some vs, _ -> Version.npages vs
+  | None, None -> Schema_up.npages v.b
+  | None, Some st -> st.base_npages + st.sp_len
 
 let capacity v = npages v lsl page_bits v
 
@@ -83,9 +102,17 @@ let col_index = col_int
 (* ----------------------------------------------------------- cell access -- *)
 
 let read_cell v col pos =
-  match v.st with
-  | None -> Schema_up.get_cell v.b col pos
-  | Some st ->
+  match v.snap, v.st with
+  | Some vs, _ ->
+    (* Snapshot resolution: the first chain overlay capturing this page has
+       its content as of the pinned epoch; otherwise no commit since has
+       touched it and the base still does. *)
+    Version.stable vs (fun () ->
+        match Version.find_page vs (pos lsr page_bits v) with
+        | Some arrays -> arrays.(col_int col).(pos land (page_size v - 1))
+        | None -> Schema_up.get_cell v.b col pos)
+  | None, None -> Schema_up.get_cell v.b col pos
+  | None, Some st ->
     let p = page_size v in
     let base_cap = st.base_npages * p in
     if pos >= base_cap then begin
@@ -94,14 +121,17 @@ let read_cell v col pos =
         invalid_arg (Printf.sprintf "View.read_cell: pos %d beyond staged pages" pos);
       st.sp.(page).(col_int col).(pos mod p)
     end
-    else begin
-      st.touch (pos / p) false;
-      match Hashtbl.find_opt st.cells ((pos * 8) lor col_int col) with
-      | Some x -> x
-      | None -> Schema_up.get_cell v.b col pos
-    end
+    else
+      (* Stamp check and base read must land in the same seqlock window, or
+         a racing commit could slip new data under the old stamp. *)
+      stable v (fun () ->
+          st.touch (pos / p) false;
+          match Hashtbl.find_opt st.cells ((pos * 8) lor col_int col) with
+          | Some x -> x
+          | None -> Schema_up.get_cell v.b col pos)
 
 let write_cell v col pos x =
+  if v.snap <> None then ro_err "write_cell";
   match v.st with
   | None -> Schema_up.set_cell v.b col pos x
   | Some st ->
@@ -119,14 +149,16 @@ let write_cell v col pos x =
     end
 
 let pos_of_pre v pre =
-  match v.st with
-  | None -> Schema_up.pos_of_pre v.b pre
-  | Some st -> Pagemap.pre_to_pos st.pmap pre
+  match v.snap, v.st with
+  | Some vs, _ -> Pagemap.pre_to_pos (Version.pmap vs) pre
+  | None, None -> Schema_up.pos_of_pre v.b pre
+  | None, Some st -> Pagemap.pre_to_pos st.pmap pre
 
 let pre_of_pos v pos =
-  match v.st with
-  | None -> Schema_up.pre_of_pos v.b pos
-  | Some st -> Pagemap.pos_to_pre st.pmap pos
+  match v.snap, v.st with
+  | Some vs, _ -> Pagemap.pos_to_pre (Version.pmap vs) pos
+  | None, None -> Schema_up.pre_of_pos v.b pos
+  | None, Some st -> Pagemap.pos_to_pre st.pmap pos
 
 (* A freshly staged page: all slots unused, free runs covering the page. *)
 let blank_arrays p =
@@ -138,6 +170,7 @@ let blank_arrays p =
   [| size; level; kind; name; node |]
 
 let splice_pages v ~at_logical ~count =
+  if v.snap <> None then ro_err "splice_pages";
   match v.st with
   | None -> Schema_up.append_pages v.b ~at_logical ~count
   | Some st ->
@@ -163,6 +196,7 @@ let splice_pages v ~at_logical ~count =
     fresh
 
 let recompute_free_runs v ~phys_page =
+  if v.snap <> None then ro_err "recompute_free_runs";
   match v.st with
   | None -> Schema_up.recompute_free_runs v.b ~phys_page
   | Some _ ->
@@ -181,21 +215,25 @@ let recompute_free_runs v ~phys_page =
 (* ---------------------------------------------------------- node identity -- *)
 
 let node_pos_get v id =
-  match v.st with
-  | None -> Schema_up.node_pos_get v.b id
-  | Some st -> (
+  match v.snap, v.st with
+  | Some vs, _ -> Version.stable vs (fun () -> Version.node_pos vs id)
+  | None, None -> Schema_up.node_pos_get v.b id
+  | None, Some st -> (
     match Hashtbl.find_opt st.node_pos_w id with
     | Some pos -> pos
     | None ->
-      if id < Schema_up.node_ids v.b then Schema_up.node_pos_get v.b id
-      else Varray.null)
+      stable v (fun () ->
+          if id < Schema_up.node_ids v.b then Schema_up.node_pos_get v.b id
+          else Varray.null))
 
 let node_pos_set v id pos =
+  if v.snap <> None then ro_err "node_pos_set";
   match v.st with
   | None -> Schema_up.node_pos_set v.b id pos
   | Some st -> Hashtbl.replace st.node_pos_w id pos
 
 let fresh_node_id v =
+  if v.snap <> None then ro_err "fresh_node_id";
   match v.st with
   | None -> Schema_up.fresh_node_id v.b
   | Some st ->
@@ -204,6 +242,7 @@ let fresh_node_id v =
     id
 
 let free_node_id v id =
+  if v.snap <> None then ro_err "free_node_id";
   match v.st with
   | None -> Schema_up.free_node_id v.b id
   | Some st ->
@@ -213,6 +252,7 @@ let free_node_id v id =
     st.freed_nodes <- id :: st.freed_nodes
 
 let add_size_delta v ~node delta =
+  if v.snap <> None then ro_err "add_size_delta";
   match v.st with
   | None ->
     let pos = Schema_up.node_pos_get v.b node in
@@ -223,6 +263,7 @@ let add_size_delta v ~node delta =
     Hashtbl.replace st.size_deltas node (cur + delta)
 
 let add_live v d =
+  if v.snap <> None then ro_err "add_live";
   match v.st with
   | None -> Schema_up.add_live_nodes v.b d
   | Some st -> st.live_delta <- st.live_delta + d
@@ -235,26 +276,31 @@ let log_pool v pool id s =
   | Some st -> st.pool_log <- (pool, id, s) :: st.pool_log
 
 let intern_qn v q =
+  if v.snap <> None then ro_err "intern_qn";
   let id = Schema_up.intern_qn v.b q in
   log_pool v Dqn id (Xml.Qname.to_string q);
   id
 
 let intern_prop v s =
+  if v.snap <> None then ro_err "intern_prop";
   let id = Schema_up.intern_prop v.b s in
   log_pool v Dprop id s;
   id
 
 let push_text v s =
+  if v.snap <> None then ro_err "push_text";
   let id = Schema_up.push_text v.b s in
   log_pool v Ptext id s;
   id
 
 let push_comment v s =
+  if v.snap <> None then ro_err "push_comment";
   let id = Schema_up.push_comment v.b s in
   log_pool v Pcomment id s;
   id
 
 let push_pi v ~target ~data =
+  if v.snap <> None then ro_err "push_pi";
   let id = Schema_up.push_pi v.b ~target ~data in
   log_pool v Ppi_target id target;
   log_pool v Ppi_data id data;
@@ -263,6 +309,7 @@ let push_pi v ~target ~data =
 (* -------------------------------------------------------------- attributes -- *)
 
 let attr_add v ~node ~qn ~prop =
+  if v.snap <> None then ro_err "attr_add";
   match v.st with
   | None -> ignore (Schema_up.attr_add v.b ~node ~qn ~prop)
   | Some st ->
@@ -277,22 +324,24 @@ let attr_add v ~node ~qn ~prop =
 (* Live attribute rows of a node through the view: (row-id, qn, prop).
    Staged adds get pseudo ids past the snapshot boundary. *)
 let attr_entries v node =
-  match v.st with
-  | None ->
+  match v.snap, v.st with
+  | Some vs, _ -> Version.stable vs (fun () -> Version.attr_entries vs node)
+  | None, None ->
     List.map
       (fun row ->
         let _, qn, prop = Schema_up.attr_row v.b row in
         (row, qn, prop))
       (Schema_up.attr_rows_of_node v.b node)
-  | Some st ->
+  | None, Some st ->
     let from_base =
-      List.filter_map
-        (fun row ->
-          if row >= v.base_attr_len || List.mem row st.attr_dels then None
-          else
-            let _, qn, prop = Schema_up.attr_row v.b row in
-            Some (row, qn, prop))
-        (Schema_up.attr_rows_of_node v.b node)
+      stable v (fun () ->
+          List.filter_map
+            (fun row ->
+              if row >= v.base_attr_len || List.mem row st.attr_dels then None
+              else
+                let _, qn, prop = Schema_up.attr_row v.b row in
+                Some (row, qn, prop))
+            (Schema_up.attr_rows_of_node v.b node))
     in
     let from_staged = ref [] in
     for i = st.attr_adds_len - 1 downto 0 do
@@ -302,6 +351,7 @@ let attr_entries v node =
     from_base @ !from_staged
 
 let attr_remove_row v row =
+  if v.snap <> None then ro_err "attr_remove_row";
   match v.st with
   | None -> Schema_up.attr_tombstone v.b ~row
   | Some st ->
@@ -327,9 +377,10 @@ let attr_remove_named v ~node ~qn =
 let extent = capacity
 
 let node_count v =
-  match v.st with
-  | None -> Schema_up.node_count v.b
-  | Some st -> Schema_up.node_count v.b + st.live_delta
+  match v.snap, v.st with
+  | Some vs, _ -> Version.live vs
+  | None, None -> Schema_up.node_count v.b
+  | None, Some st -> Schema_up.node_count v.b + st.live_delta
 
 let is_used v pre = read_cell v Clevel (pos_of_pre v pre) <> Varray.null
 

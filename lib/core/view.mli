@@ -18,7 +18,14 @@
     "drop the view".  The [touch] callback fires before any base-page access
     so the transaction layer can take incremental page locks; staged pages
     and size deltas bypass it — that is precisely the paper's trick for not
-    locking the root. *)
+    locking the root.
+
+    A third flavour, the {e snapshot} view, reads a pinned MVCC version
+    ({!Version.t}): base cells are resolved through the version chain's
+    pre-image overlays and the descriptor's frozen pageOffset, wrapped in
+    the store seqlock, so evaluation holds no lock and observes exactly the
+    store as of the pinned commit. Snapshot views reject every mutating
+    operation with [Invalid_argument]. *)
 
 type pool = Ptext | Pcomment | Ppi_target | Ppi_data | Dqn | Dprop
 (** Identifies a shared string container in WAL log entries. *)
@@ -53,12 +60,18 @@ type t
 
 val direct : Schema_up.t -> t
 
-val staged : ?touch:(int -> bool -> unit) -> Schema_up.t -> t
+val staged : ?touch:(int -> bool -> unit) -> ?seq:int Atomic.t -> Schema_up.t -> t
+(** [seq], when given, is the MVCC store's seqlock: base-page reads (and
+    their stamp checks) retry around commit critical sections instead of
+    observing half-applied pages. *)
+
+val snapshot : Version.t -> t
+(** Read-only view of a pinned version descriptor. *)
 
 val base : t -> Schema_up.t
 
 val staged_state : t -> staged option
-(** [None] on a direct view. *)
+(** [None] on a direct or snapshot view. *)
 
 (** {1 The pre view (storage signature for in-view queries)} *)
 

@@ -14,7 +14,7 @@ type record = {
   live_delta : int;
 }
 
-type t = { path : string; oc : out_channel }
+type t = { path : string; mutable oc : out_channel }
 
 let m_frames = Obs.counter ~help:"commit records appended" "wal.frames"
 
@@ -155,6 +155,17 @@ let append t r =
   Obs.add m_bytes (String.length payload + frame_header_bytes)
 
 let close t = close_out t.oc
+
+let m_rotations = Obs.counter ~help:"log truncations after checkpoint" "wal.rotations"
+
+(* Truncate the log in place. Callers must exclude concurrent [append]s (the
+   transaction manager holds its commit mutex) and must already have made
+   every logged commit durable elsewhere — i.e. a checkpoint covering the
+   whole log has hit disk. *)
+let rotate t =
+  close_out t.oc;
+  t.oc <- open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path;
+  Obs.inc m_rotations
 
 let sync_path t = t.path
 

@@ -41,6 +41,12 @@ val append : t -> record -> unit
 
 val close : t -> unit
 
+val rotate : t -> unit
+(** Truncate the log to empty and keep logging to the same path. Only safe
+    once a checkpoint covering every logged commit is durable, and with
+    appends excluded — {!Db.checkpoint}[ ~truncate_wal:true] wraps both
+    conditions. *)
+
 val sync_path : t -> string
 
 val replay : string -> (record -> unit) -> int
