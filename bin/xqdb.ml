@@ -471,11 +471,467 @@ let concurrent_cmd =
       const run $ doc_arg $ readers $ writers $ duration $ query $ think
       $ page_bits $ fill $ metrics_flag)
 
+(* ---------------------------------------------------------------- torture *)
+
+(* Failpoint-driven crash-recovery torture. Every iteration forks a child
+   that runs a seeded random update workload against a WAL-backed store with
+   ONE scheduled failpoint armed; the failpoint kills the child somewhere in
+   the commit/checkpoint machinery (SIGKILL — no flush, no at_exit). The
+   parent then recovers from checkpoint + WAL and verifies:
+
+   - recovery itself succeeds (torn checkpoints are impossible by
+     construction: Db.checkpoint renames a complete temp file into place);
+   - Schema_up.check_integrity (pagemap bijection, free runs, node/pos <->
+     attribute join, size/level tree consistency);
+   - the document validates against the workload's structural schema;
+   - serialize -> parse -> reshred -> serialize is the identity;
+   - the recovered store accepts a new transaction;
+   - committed-prefix durability against a shadow oracle log: the child
+     durably logs INTENT i before each update and OK i after; the recovered
+     document must equal a deterministic replay of the first n ops where
+     acked <= n <= intent — and per failpoint category, crash-before-WAL
+     forces n = acked (in-flight transaction absent) while crash-after-WAL
+     forces n = intent (in-flight transaction present).
+
+   Everything — workload, failpoint schedule, torn fraction — derives from
+   (--seed, grid index, iteration), so any failure replays with one
+   command (printed on failure, alongside the dumped artifact directory). *)
+
+module Torture = struct
+  type category = Before | After | Neutral
+
+  type entry = {
+    site : string;
+    cat : category;
+    kind : [ `Crash | `Torn | `Delay ];
+    max_hits : int;  (* inclusive upper bound for hit-count draws *)
+  }
+
+  let kind_name = function `Crash -> "crash" | `Torn -> "torn" | `Delay -> "delay"
+
+  (* One entry per failpoint site x action; iteration seeds use the FULL
+     grid index so --site/--action filters never change the schedule. *)
+  let grid ~ops =
+    let commit = max 1 (ops - 5) in
+    let ck = max 1 ((ops / 5) - 1) in
+    let rot = max 1 ((ops / 10) - 1) in
+    [ { site = "txn.commit.before_wal"; cat = Before; kind = `Crash; max_hits = commit };
+      { site = "wal.append.before"; cat = Before; kind = `Crash; max_hits = commit };
+      { site = "persist.write_frame"; cat = Before; kind = `Crash; max_hits = commit };
+      { site = "persist.write_frame"; cat = Before; kind = `Torn; max_hits = commit };
+      { site = "wal.append.after"; cat = After; kind = `Crash; max_hits = commit };
+      { site = "txn.commit.after_wal"; cat = After; kind = `Crash; max_hits = commit };
+      { site = "txn.commit.mid_apply"; cat = After; kind = `Crash; max_hits = commit };
+      { site = "version.capture"; cat = After; kind = `Crash; max_hits = 2 * ops };
+      { site = "db.checkpoint.before"; cat = Neutral; kind = `Crash; max_hits = ck };
+      { site = "db.checkpoint.mid"; cat = Neutral; kind = `Crash; max_hits = ck };
+      { site = "db.checkpoint.after_rename"; cat = Neutral; kind = `Crash; max_hits = ck };
+      { site = "db.checkpoint.after"; cat = Neutral; kind = `Crash; max_hits = ck };
+      { site = "wal.rotate.before"; cat = Neutral; kind = `Crash; max_hits = rot };
+      { site = "wal.rotate.after"; cat = Neutral; kind = `Crash; max_hits = rot };
+      { site = "wal.append.before"; cat = Neutral; kind = `Delay; max_hits = commit } ]
+
+  (* ------------------------------------------------------------ workload -- *)
+
+  let base_xml =
+    {|<torture><item id="g0">seed</item><item id="g1">two</item></torture>|}
+
+  let schema =
+    Core.Validate.of_rules
+      [ ( "torture",
+          Core.Validate.rule ~content:(Core.Validate.Children_of [ "item" ]) () );
+        ("item", Core.Validate.rule ~required:[ "id" ] ()) ]
+
+  type shadow = { mutable live : string list; mutable next : int }
+
+  let fresh_shadow () = { live = [ "g0"; "g1" ]; next = 0 }
+
+  let wrap body =
+    Printf.sprintf {|<xupdate:modifications>%s</xupdate:modifications>|} body
+
+  (* Deterministic: the op stream is a pure function of the PRNG and the
+     shadow state, and every op succeeds on a store that replayed the same
+     prefix — so the parent regenerates the exact child workload. *)
+  let gen_op rng sh =
+    let n_live = List.length sh.live in
+    let pick () = List.nth sh.live (Random.State.int rng n_live) in
+    let fresh_item () =
+      let id = Printf.sprintf "t%d" sh.next in
+      sh.next <- sh.next + 1;
+      let txt = Printf.sprintf "v%d" (Random.State.int rng 1000) in
+      let body =
+        if Random.State.int rng 4 = 0 then
+          Printf.sprintf {|<item id="%s"><b>%s</b>%s</item>|} id txt txt
+        else Printf.sprintf {|<item id="%s">%s</item>|} id txt
+      in
+      (id, body)
+    in
+    let roll = Random.State.int rng 100 in
+    if n_live = 0 || roll < 45 then begin
+      let id, body = fresh_item () in
+      sh.live <- sh.live @ [ id ];
+      wrap (Printf.sprintf {|<xupdate:append select="/torture">%s</xupdate:append>|} body)
+    end
+    else if roll < 60 then begin
+      let anchor = pick () in
+      let id, body = fresh_item () in
+      sh.live <- id :: sh.live;
+      wrap
+        (Printf.sprintf
+           {|<xupdate:insert-before select="/torture/item[@id='%s']">%s</xupdate:insert-before>|}
+           anchor body)
+    end
+    else if roll < 75 && n_live > 1 then begin
+      let id = pick () in
+      sh.live <- List.filter (fun x -> x <> id) sh.live;
+      wrap (Printf.sprintf {|<xupdate:remove select="/torture/item[@id='%s']"/>|} id)
+    end
+    else if roll < 88 then
+      let id = pick () in
+      wrap
+        (Printf.sprintf
+           {|<xupdate:append select="/torture/item[@id='%s']"><xupdate:attribute name="k%d">a%d</xupdate:attribute></xupdate:append>|}
+           id (Random.State.int rng 3) (Random.State.int rng 1000))
+    else
+      let id = pick () in
+      wrap
+        (Printf.sprintf {|<xupdate:update select="/torture/item[@id='%s']">u%d</xupdate:update>|}
+           id (Random.State.int rng 1000))
+
+  (* --------------------------------------------------------- the schedule -- *)
+
+  let schedule_of ~seed ~gidx ~k e =
+    let rng = Random.State.make [| seed; gidx; k; 1 |] in
+    let action =
+      match e.kind with
+      | `Crash -> Fault.Crash
+      | `Torn -> Fault.Torn_write (0.9 *. Random.State.float rng 1.0)
+      | `Delay -> Fault.Delay 0.001
+    in
+    let policy =
+      match e.kind with
+      | `Delay -> Fault.Prob 0.5
+      | `Crash | `Torn ->
+        if Random.State.int rng 4 = 0 then
+          Fault.Prob (0.02 +. Random.State.float rng 0.15)
+        else Fault.Hit (1 + Random.State.int rng e.max_hits)
+    in
+    let prng_seed = Random.State.int rng 1_000_000 in
+    (policy, action, prng_seed)
+
+  let policy_str = function
+    | Fault.One_shot -> "once"
+    | Fault.Hit n -> Printf.sprintf "hit:%d" n
+    | Fault.Prob p -> Printf.sprintf "p:%.3f" p
+
+  let action_str = function
+    | Fault.Crash -> "crash"
+    | Fault.Torn_write f -> Printf.sprintf "torn:%.3f" f
+    | Fault.Delay s -> Printf.sprintf "delay:%.3f" s
+
+  (* ------------------------------------------------------------ the child -- *)
+
+  let ck_of dir = Filename.concat dir "store.ck"
+
+  let wal_of dir = Filename.concat dir "store.ck.wal"
+
+  let run_child ~dir ~seed ~gidx ~k ~ops ~page_bits e =
+    (* child output goes to a log file, the parent's terminal stays clean *)
+    let log =
+      Unix.openfile (Filename.concat dir "child.log")
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    Unix.dup2 log Unix.stdout;
+    Unix.dup2 log Unix.stderr;
+    Unix.close log;
+    let db =
+      Core.Db.of_xml ~page_bits ~fill:0.7 ~wal_path:(wal_of dir) ~schema base_xml
+    in
+    Core.Db.checkpoint db (ck_of dir);
+    let policy, action, prng_seed = schedule_of ~seed ~gidx ~k e in
+    Fault.arm ~seed:prng_seed e.site ~policy ~action;
+    let oracle = open_out (Filename.concat dir "oracle.log") in
+    let rng = Random.State.make [| seed; gidx; k; 2 |] in
+    let sh = fresh_shadow () in
+    for j = 1 to ops do
+      let src = gen_op rng sh in
+      Printf.fprintf oracle "INTENT %d\n%!" j;
+      (match Core.Db.update_r db src with
+      | Ok _ -> Printf.fprintf oracle "OK %d\n%!" j
+      | Error e ->
+        Printf.eprintf "op %d failed: %s\n" j (Core.Db.Error.to_string e);
+        Printf.fprintf oracle "SKIP %d\n%!" j);
+      if j mod 5 = 0 then
+        Core.Db.checkpoint ~truncate_wal:(j mod 10 = 0) db (ck_of dir)
+    done;
+    (* no at_exit: the parent's buffered output was inherited by the fork *)
+    Unix._exit 0
+
+  (* ----------------------------------------------------------- the parent -- *)
+
+  let read_oracle path =
+    if not (Sys.file_exists path) then (0, 0)
+    else begin
+      let ic = open_in path in
+      let acked = ref 0 and intent = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          try
+            while true do
+              match String.split_on_char ' ' (input_line ic) with
+              | [ "INTENT"; j ] -> intent := max !intent (int_of_string j)
+              | [ ("OK" | "SKIP"); j ] -> acked := max !acked (int_of_string j)
+              | _ -> ()
+            done
+          with End_of_file -> ());
+      (!acked, !intent)
+    end
+
+  let check = function
+    | Ok () -> None
+    | Error msg -> Some msg
+
+  (* All full-document invariants on the recovered store; [Ok n] gives the
+     oracle prefix the recovered document matched. *)
+  let verify ~dir ~seed ~gidx ~k ~ops ~page_bits ~killed e =
+    let acked, intent = read_oracle (Filename.concat dir "oracle.log") in
+    if intent - acked > 1 || acked > intent then
+      Error (Printf.sprintf "oracle log inconsistent: acked %d, intent %d" acked intent)
+    else
+      match Core.Db.open_recovered_r ~wal_path:(wal_of dir) ~checkpoint:(ck_of dir) ~schema () with
+      | Error e -> Error ("recovery failed: " ^ Core.Db.Error.to_string e)
+      | Ok db -> (
+        let recovered = Core.Db.to_xml db in
+        let invariants =
+          [ (fun () ->
+              Core.Schema_up.check_integrity (Core.Db.store db)
+              |> Result.map_error (fun m -> "integrity: " ^ m));
+            (fun () ->
+              Core.Db.read db (fun v -> Core.Validate.check_view schema v)
+              |> Result.map_error (fun m -> "schema validation: " ^ m));
+            (fun () ->
+              let again = Core.Db.to_xml (Core.Db.of_xml recovered) in
+              if String.equal again recovered then Ok ()
+              else Error "serialize/reshred round-trip diverged");
+            (fun () ->
+              match
+                Core.Db.update_r db
+                  (wrap {|<xupdate:append select="/torture"><item id="post"/></xupdate:append>|})
+              with
+              | Ok _ -> Ok ()
+              | Error e ->
+                Error ("post-recovery update refused: " ^ Core.Db.Error.to_string e)) ]
+        in
+        match List.find_map (fun f -> check (f ())) invariants with
+        | Some msg -> Error msg
+        | None -> (
+          (* committed-prefix durability against the deterministic replay *)
+          let replay = Core.Db.of_xml ~page_bits ~fill:0.7 ~schema base_xml in
+          let rng = Random.State.make [| seed; gidx; k; 2 |] in
+          let sh = fresh_shadow () in
+          let matched = ref [] in
+          if acked = 0 && String.equal (Core.Db.to_xml replay) recovered then
+            matched := 0 :: !matched;
+          for j = 1 to min intent ops do
+            let src = gen_op rng sh in
+            (match Core.Db.update_r replay src with Ok _ | Error _ -> ());
+            if j >= acked && String.equal (Core.Db.to_xml replay) recovered then
+              matched := j :: !matched
+          done;
+          match List.rev !matched with
+          | [] ->
+            Error
+              (Printf.sprintf
+                 "recovered document matches no oracle prefix in [%d, %d] — \
+                  durability or atomicity violated"
+                 acked intent)
+          | n :: _ -> (
+            match e.cat with
+            | Before when killed && n <> acked ->
+              Error
+                (Printf.sprintf
+                   "crash before WAL append, but recovered state includes the \
+                    in-flight transaction (prefix %d, acked %d)"
+                   n acked)
+            | After when killed && n <> intent ->
+              Error
+                (Printf.sprintf
+                   "crash after WAL append lost the in-flight transaction \
+                    (prefix %d, intent %d)"
+                   n intent)
+            | _ -> Ok n)))
+
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+
+  let mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      (match Filename.dirname dir with
+      | "." | "/" -> ()
+      | parent -> if not (Sys.file_exists parent) then Unix.mkdir parent 0o755);
+      Unix.mkdir dir 0o755
+    end
+
+  let status_str = function
+    | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+    | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+
+  let run_one ~artifacts ~keep ~seed ~gidx ~k ~ops ~page_bits e =
+    let dir =
+      Filename.concat artifacts (Printf.sprintf "%s-%s-%d" e.site (kind_name e.kind) k)
+    in
+    rm_rf dir;
+    mkdir_p dir;
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 -> run_child ~dir ~seed ~gidx ~k ~ops ~page_bits e
+    | pid -> (
+      let _, status = Unix.waitpid [] pid in
+      let killed = status = Unix.WSIGNALED Sys.sigkill in
+      let child_ok = killed || status = Unix.WEXITED 0 in
+      let result =
+        if not child_ok then
+          Error ("child died unexpectedly: " ^ status_str status ^ " (see child.log)")
+        else verify ~dir ~seed ~gidx ~k ~ops ~page_bits ~killed e
+      in
+      match result with
+      | Ok _ ->
+        if not keep then rm_rf dir;
+        (true, killed)
+      | Error msg ->
+        let policy, action, _ = schedule_of ~seed ~gidx ~k e in
+        let oc = open_out (Filename.concat dir "repro.txt") in
+        Printf.fprintf oc
+          "site:      %s\nschedule:  %s@%s\nchild:     %s\niteration: %d\nseed:      \
+           %d\nfailure:   %s\nreplay:    xqdb torture --seed %d --ops %d --page-bits \
+           %d --site %s --action %s --only %d --keep\n"
+          e.site (action_str action) (policy_str policy) (status_str status) k seed
+          msg seed ops page_bits e.site (kind_name e.kind) k;
+        close_out oc;
+        Printf.printf "FAIL %s/%s iter %d: %s\n  artifacts: %s\n%!" e.site
+          (kind_name e.kind) k msg dir;
+        (false, killed))
+
+  let run ~iters ~seed ~ops ~page_bits ~site ~action ~only ~artifacts ~keep =
+    let full = grid ~ops in
+    let entries =
+      List.filteri (fun _ _ -> true) full
+      |> List.mapi (fun gidx e -> (gidx, e))
+      |> List.filter (fun (_, e) ->
+             (match site with Some s -> String.equal s e.site | None -> true)
+             && match action with Some a -> String.equal a (kind_name e.kind) | None -> true)
+    in
+    if entries = [] then begin
+      Printf.eprintf "torture: no grid entry matches the --site/--action filter\n";
+      2
+    end
+    else begin
+      mkdir_p artifacts;
+      let failures = ref 0 and total = ref 0 in
+      List.iter
+        (fun (gidx, e) ->
+          let pass = ref 0 and crashes = ref 0 in
+          let ks = match only with Some k -> [ k ] | None -> List.init iters Fun.id in
+          List.iter
+            (fun k ->
+              incr total;
+              let ok, killed =
+                run_one ~artifacts ~keep ~seed ~gidx ~k ~ops ~page_bits e
+              in
+              if ok then incr pass else incr failures;
+              if killed then incr crashes)
+            ks;
+          Printf.printf "  %-28s %-6s %3d/%d ok  (%d crashed)\n%!" e.site
+            (kind_name e.kind) !pass (List.length ks) !crashes)
+        entries;
+      if !failures = 0 && not keep then rm_rf artifacts;
+      Printf.printf "torture: %d/%d iterations passed (seed %d, %d ops each)\n"
+        (!total - !failures) !total seed ops;
+      if !failures > 0 then begin
+        Printf.printf "torture: %d FAILED — artifacts in %s\n" !failures artifacts;
+        1
+      end
+      else 0
+    end
+end
+
+let torture_cmd =
+  let iters =
+    Arg.(
+      value & opt int 10
+      & info [ "iters" ] ~doc:"Iterations per failpoint grid entry.")
+  in
+  let seed = Arg.(value & opt int 20050401 & info [ "seed" ] ~doc:"Master PRNG seed.") in
+  let ops =
+    Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Update operations per child workload.")
+  in
+  let pb =
+    Arg.(
+      value & opt int 3
+      & info [ "page-bits" ]
+          ~doc:"Logical page size (power of two); small pages force page splices.")
+  in
+  let site =
+    Arg.(
+      value & opt (some string) None
+      & info [ "site" ] ~docv:"NAME" ~doc:"Run only this failpoint site.")
+  in
+  let action =
+    Arg.(
+      value & opt (some (enum [ ("crash", "crash"); ("torn", "torn"); ("delay", "delay") ])) None
+      & info [ "action" ] ~doc:"Run only grid entries with this action.")
+  in
+  let only =
+    Arg.(
+      value & opt (some int) None
+      & info [ "only" ] ~docv:"K" ~doc:"Run only iteration K of each entry (replay).")
+  in
+  let artifacts =
+    Arg.(
+      value & opt string "torture-artifacts"
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:"Directory for failure repro dumps (WAL, checkpoint, oracle log).")
+  in
+  let keep =
+    Arg.(value & flag & info [ "keep" ] ~doc:"Keep per-iteration directories on success.")
+  in
+  let run iters seed ops page_bits site action only artifacts keep =
+    Torture.run ~iters ~seed ~ops ~page_bits ~site ~action ~only ~artifacts ~keep
+  in
+  let info =
+    Cmd.info "torture"
+      ~doc:
+        "Failpoint-driven crash-recovery torture: fork seeded update \
+         workloads, kill them inside the commit/checkpoint critical \
+         sections, recover, and verify every document invariant against a \
+         shadow oracle log."
+  in
+  Cmd.v info
+    Term.(
+      const run $ iters $ seed $ ops $ pb $ site $ action $ only $ artifacts $ keep)
+
 let () =
+  (* Manual fault injection for any subcommand, e.g.
+     XQDB_FAILPOINTS='wal.append.after=crash@hit:3' xqdb update --wal ... *)
+  (match Sys.getenv_opt "XQDB_FAILPOINTS" with
+  | None -> ()
+  | Some spec -> (
+    match Fault.arm_spec spec with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "bad XQDB_FAILPOINTS: %s\n" msg;
+      exit 2));
   let info =
     Cmd.info "xqdb" ~version:"1.0"
       ~doc:"Updatable pre/post-plane XML store (MonetDB/XQuery, SIGMOD 2005)"
   in
   exit (Cmd.eval' (Cmd.group info
                      [ query_cmd; xquery_cmd; update_cmd; stats_cmd; xmark_cmd;
-                       metrics_cmd; checkpoint_cmd; recover_cmd; concurrent_cmd ]))
+                       metrics_cmd; checkpoint_cmd; recover_cmd; concurrent_cmd;
+                       torture_cmd ]))

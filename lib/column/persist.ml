@@ -99,14 +99,45 @@ let adler32 s =
     s;
   (!b lsl 16) lor !a
 
+(* Failpoint: the frame write is where torn-write crashes are injected.
+   [Torn_write f] emits the first [f] of the frame's bytes, flushes, and
+   kills the process — a crash mid-I/O; [Crash] dies before any byte hits
+   the channel (the frame is wholly absent). *)
+let fp_write_frame = "persist.write_frame"
+
+let frame_of hdr payload = Enc.contents hdr ^ payload
+
 let write_frame oc payload =
   let hdr = Enc.create () in
   Enc.int hdr frame_magic;
   Enc.int hdr (String.length payload);
   Enc.int hdr (adler32 payload);
+  (match Fault.check fp_write_frame with
+  | None -> ()
+  | Some (Fault.Torn_write f) ->
+    let frame = frame_of hdr payload in
+    let n = String.length frame in
+    let keep = max 0 (min (n - 1) (int_of_float (f *. float_of_int n))) in
+    output_string oc (String.sub frame 0 keep);
+    flush oc;
+    Fault.crash ()
+  | Some a -> Fault.act a);
   output_string oc (Enc.contents hdr);
   output_string oc payload;
   flush oc
+
+(* Creating or renaming a file only becomes durable once its *directory*
+   entry is fsynced; callers that just created/rotated a log or renamed a
+   checkpoint into place use this to close that window. Best-effort: some
+   filesystems refuse fsync on directory fds, and a missing path is the
+   caller's problem, not ours. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let really_input_opt ic n =
   let b = Bytes.create n in

@@ -55,7 +55,14 @@ end
 val adler32 : string -> int
 
 val write_frame : out_channel -> string -> unit
-(** Append one checksummed frame and flush. *)
+(** Append one checksummed frame and flush.  Carries the
+    ["persist.write_frame"] failpoint site: a [Torn_write] schedule emits a
+    prefix of the frame and crashes, exercising exactly the torn-tail
+    detection {!read_frame} implements. *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory — makes freshly created/renamed
+    directory entries (new WAL, rotated log, renamed checkpoint) durable. *)
 
 val read_frame : in_channel -> string option
 (** Next frame payload, or [None] at end-of-file {e or} on a torn/corrupt

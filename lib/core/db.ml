@@ -65,16 +65,31 @@ let checkpoint ?(truncate_wal = false) t path =
      a consistent committed state at the recorded LSN, and — when requested —
      no commit can slip a WAL frame in between the checkpoint becoming
      durable and the log rotation, so rotation never loses a commit.
-     Snapshot readers are not blocked. *)
+     Snapshot readers are not blocked.
+
+     The new checkpoint is written to a temp file and renamed into place:
+     a crash at ANY point leaves either the old intact checkpoint (plus the
+     unrotated WAL) or the new one — never a torn file at [path]. The
+     torture harness drives every one of the failpoint windows below. *)
   Txn.exclusive t.mgr (fun _ ->
+      Fault.hit "db.checkpoint.before";
       let enc = Column.Persist.Enc.create () in
       Column.Persist.Enc.int enc (Txn.last_committed t.mgr);
       Schema_up.save (store t) enc;
-      let oc = open_out_bin path in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
         (fun () -> Column.Persist.write_frame oc (Column.Persist.Enc.contents enc));
-      if truncate_wal then Option.iter Wal.rotate t.wal_handle)
+      (* tmp is complete; the previous checkpoint is still the live one *)
+      Fault.hit "db.checkpoint.mid";
+      Sys.rename tmp path;
+      Column.Persist.fsync_dir (Filename.dirname path);
+      (* new checkpoint live, WAL not yet rotated: replay must skip frames
+         at or below the checkpoint LSN (Txn.recover's [~after]) *)
+      Fault.hit "db.checkpoint.after_rename";
+      if truncate_wal then Option.iter Wal.rotate t.wal_handle;
+      Fault.hit "db.checkpoint.after")
 
 let open_recovered ?wal_path ?schema ~checkpoint () =
   let ic = open_in_bin checkpoint in

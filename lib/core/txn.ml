@@ -188,6 +188,10 @@ let apply_wal_record ?lsn b (r : Wal.record) =
   List.iter
     (fun (pos, ci, v) -> Schema_up.set_cell b (col_of_int ci) pos v)
     r.Wal.cells;
+  (* Failpoint: half the commit is applied (pools, fresh pages, cell
+     writes) but the pageOffset/node-pos/attribute tables are still old —
+     a crash here must be fully redone from the WAL frame on recovery. *)
+  Fault.hit "txn.commit.mid_apply";
   Schema_up.set_pagemap b
     (Pagemap.of_array ~bits:(Schema_up.page_bits b) r.Wal.page_order);
   List.iter
@@ -378,10 +382,16 @@ let commit ?validate t =
     match
       with_commit_mu t.m (fun () ->
           let record = build_record t st in
+          (* Failpoint: a crash here loses the transaction entirely — the
+             WAL frame was never written, recovery must not see it. *)
+          Fault.hit "txn.commit.before_wal";
           (* The WAL write is the commit point: a single flushed frame. *)
           (match t.m.wal_log with
           | None -> ()
           | Some w -> Wal.append w record);
+          (* Failpoint: the frame is durable but nothing was applied — the
+             transaction must be present after recovery. *)
+          Fault.hit "txn.commit.after_wal";
           let lsn = t.m.last_commit + 1 in
           (* Short MVCC critical section: flip the seqlock odd, capture the
              pre-images, apply in place, install the new version. Readers

@@ -222,6 +222,9 @@ let commit_end s ~epoch t0 =
    the version whose readers must keep seeing the old content. *)
 
 let capture_page s phys =
+  (* Failpoint: dies inside the odd-seq window, after the WAL frame — the
+     torture harness checks the transaction survives recovery anyway. *)
+  Fault.hit "version.capture";
   let v = s.newest in
   if phys < v.npages && not (IMap.mem phys v.pages) then begin
     v.pages <- IMap.add phys (Schema_up.capture_page v.base phys) v.pages;

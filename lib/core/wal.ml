@@ -30,7 +30,12 @@ let m_fsync_latency =
 let frame_header_bytes = 24
 
 let open_log path =
+  let existed = Sys.file_exists path in
   let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  (* A freshly created log is only durable once its directory entry is —
+     without this, a crash right after creation can lose the file itself
+     and with it every frame we "durably" appended. *)
+  if not existed then Persist.fsync_dir (Filename.dirname path);
   { path; oc }
 
 let pool_tag : View.pool -> int = function
@@ -148,8 +153,10 @@ let decode payload =
     attr_adds; attr_dels; pool; live_delta }
 
 let append t r =
+  Fault.hit "wal.append.before";
   let payload = encode r in
   Obs.time m_fsync_latency (fun () -> Persist.write_frame t.oc payload);
+  Fault.hit "wal.append.after";
   Obs.inc m_frames;
   Obs.inc m_fsyncs;
   Obs.add m_bytes (String.length payload + frame_header_bytes)
@@ -163,8 +170,14 @@ let m_rotations = Obs.counter ~help:"log truncations after checkpoint" "wal.rota
    every logged commit durable elsewhere — i.e. a checkpoint covering the
    whole log has hit disk. *)
 let rotate t =
+  Fault.hit "wal.rotate.before";
   close_out t.oc;
   t.oc <- open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 t.path;
+  (* If the path had been unlinked (or never existed), Open_creat just made
+     a new directory entry; fsync the directory so a crash after rotation
+     cannot lose the empty log and resurrect pre-rotation frames. *)
+  Persist.fsync_dir (Filename.dirname t.path);
+  Fault.hit "wal.rotate.after";
   Obs.inc m_rotations
 
 let sync_path t = t.path

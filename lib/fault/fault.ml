@@ -1,0 +1,174 @@
+type action = Crash | Torn_write of float | Delay of float
+
+type policy = One_shot | Hit of int | Prob of float
+
+type site = {
+  policy : policy;
+  action : action;
+  rng : Random.State.t;
+  mutable site_hits : int;  (* since arming; drives Hit/One_shot *)
+}
+
+(* Armed sites, by name. [n_armed] mirrors the table size so the fast path
+   of [hit]/[check] is one atomic load — the whole point of leaving
+   failpoints compiled into production builds. *)
+let mu = Mutex.create ()
+
+let sites : (string, site) Hashtbl.t = Hashtbl.create 8
+
+let n_armed = Atomic.make 0
+
+(* Cumulative per-site statistics, kept after disarm (a one-shot site that
+   fired is gone from [sites], but tests still ask how often it fired). *)
+let stats : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8
+
+let m_hits = Obs.counter ~help:"failpoint evaluations at armed sites" "fault.hits"
+
+let m_fired = Obs.counter ~help:"failpoint actions triggered" "fault.fired"
+
+let with_mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let stat name =
+  match Hashtbl.find_opt stats name with
+  | Some s -> s
+  | None ->
+    let s = (ref 0, ref 0) in
+    Hashtbl.add stats name s;
+    s
+
+let arm ?(seed = 0) name ~policy ~action =
+  (match policy with
+  | Hit n when n < 1 -> invalid_arg "Fault.arm: hit count must be >= 1"
+  | Prob p when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg "Fault.arm: probability must be in [0, 1]"
+  | One_shot | Hit _ | Prob _ -> ());
+  with_mu (fun () ->
+      if not (Hashtbl.mem sites name) then Atomic.incr n_armed;
+      Hashtbl.replace sites name
+        { policy; action; rng = Random.State.make [| 0xfa17; seed |]; site_hits = 0 })
+
+let disarm name =
+  with_mu (fun () ->
+      if Hashtbl.mem sites name then begin
+        Hashtbl.remove sites name;
+        Atomic.decr n_armed
+      end)
+
+let reset () =
+  with_mu (fun () ->
+      Hashtbl.reset sites;
+      Hashtbl.reset stats;
+      Atomic.set n_armed 0)
+
+let armed name = with_mu (fun () -> Hashtbl.mem sites name)
+
+let hits name = with_mu (fun () -> !(fst (stat name)))
+
+let fired name = with_mu (fun () -> !(snd (stat name)))
+
+let crash () =
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* unreachable: SIGKILL cannot be caught *)
+  assert false
+
+let act = function
+  | Crash | Torn_write _ -> crash ()
+  | Delay s -> if s > 0.0 then Unix.sleepf s
+
+let check name =
+  if Atomic.get n_armed = 0 then None
+  else
+    with_mu (fun () ->
+        match Hashtbl.find_opt sites name with
+        | None -> None
+        | Some s ->
+          s.site_hits <- s.site_hits + 1;
+          let h, f = stat name in
+          incr h;
+          Obs.inc m_hits;
+          let fire =
+            match s.policy with
+            | One_shot -> true
+            | Hit n -> s.site_hits = n
+            | Prob p -> Random.State.float s.rng 1.0 < p
+          in
+          if not fire then None
+          else begin
+            incr f;
+            Obs.inc m_fired;
+            (match s.policy with
+            | One_shot | Hit _ ->
+              Hashtbl.remove sites name;
+              Atomic.decr n_armed
+            | Prob _ -> ());
+            Some s.action
+          end)
+
+let hit name = match check name with None -> () | Some a -> act a
+
+(* ------------------------------------------------------------ spec parser -- *)
+
+(* SITE=ACTION[@POLICY], ';'-separated.  ACTION: crash | torn:F | delay:S.
+   POLICY: once | hit:N | p:P. *)
+
+let split_once ~on s =
+  match String.index_opt s on with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_action s =
+  match split_once ~on:':' s with
+  | "crash", None -> Ok Crash
+  | "torn", Some f -> (
+    match float_of_string_opt f with
+    | Some f when f >= 0.0 && f < 1.0 -> Ok (Torn_write f)
+    | Some _ | None -> Error (Printf.sprintf "bad torn fraction %S" f))
+  | "delay", Some d -> (
+    match float_of_string_opt d with
+    | Some d when d >= 0.0 -> Ok (Delay d)
+    | Some _ | None -> Error (Printf.sprintf "bad delay %S" d))
+  | _ -> Error (Printf.sprintf "unknown action %S (crash | torn:F | delay:S)" s)
+
+let parse_policy s =
+  match split_once ~on:':' s with
+  | "once", None -> Ok One_shot
+  | "hit", Some n -> (
+    match int_of_string_opt n with
+    | Some n when n >= 1 -> Ok (Hit n)
+    | Some _ | None -> Error (Printf.sprintf "bad hit count %S" n))
+  | "p", Some p -> (
+    match float_of_string_opt p with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok (Prob p)
+    | Some _ | None -> Error (Printf.sprintf "bad probability %S" p))
+  | _ -> Error (Printf.sprintf "unknown policy %S (once | hit:N | p:P)" s)
+
+let parse_entry s =
+  match split_once ~on:'=' s with
+  | _, None | "", Some _ ->
+    Error (Printf.sprintf "%S: expected SITE=ACTION[@POLICY]" s)
+  | site, Some rhs -> (
+    let action_s, policy_s = split_once ~on:'@' rhs in
+    let policy = Option.fold ~none:(Ok One_shot) ~some:parse_policy policy_s in
+    match parse_action action_s, policy with
+    | Ok action, Ok policy -> Ok (site, policy, action)
+    | Error e, _ | _, Error e -> Error e)
+
+let parse_spec spec =
+  String.split_on_char ';' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.fold_left
+       (fun acc part ->
+         match acc, parse_entry part with
+         | Error e, _ | _, Error e -> Error e
+         | Ok l, Ok entry -> Ok (entry :: l))
+       (Ok [])
+  |> Result.map List.rev
+
+let arm_spec ?seed spec =
+  Result.map
+    (List.iter (fun (site, policy, action) -> arm ?seed site ~policy ~action))
+    (parse_spec spec)

@@ -1,0 +1,85 @@
+(** Failpoint registry for crash-recovery torture testing.
+
+    A {e failpoint site} is a named location on the durability path (WAL
+    append, frame write, checkpoint, the commit critical section, …) that
+    calls {!hit} (or {!check}) every time execution passes through it.  When
+    nothing is armed this is a single atomic load and a branch — cheap
+    enough to stay compiled into production builds.  Arming a site attaches
+    a trigger {!policy} and an {!action}; when the policy fires, the action
+    is performed: crash the process mid-protocol, tear the in-flight frame,
+    or delay to widen a race window.
+
+    The registry is process-global and thread-safe.  The torture harness
+    ([xqdb torture]) forks a child, arms one scheduled failpoint in the
+    child, runs a seeded workload until the crash, and then recovers and
+    verifies invariants in the parent — the parent's registry stays empty,
+    so recovery itself never faults. *)
+
+type action =
+  | Crash
+      (** SIGKILL the process immediately: no buffer flush, no [at_exit] —
+          the closest userspace approximation of a power cut. *)
+  | Torn_write of float
+      (** For frame-writing sites: emit only this fraction ([0..1)) of the
+          in-flight frame's bytes, flush, then crash — a torn write.  Sites
+          with no frame in flight treat it as {!Crash}. *)
+  | Delay of float
+      (** Sleep this many seconds, then continue normally (for widening
+          race windows; never crashes). *)
+
+type policy =
+  | One_shot  (** Fire on the first evaluation, then disarm. *)
+  | Hit of int
+      (** Fire on the [n]th evaluation (1-based) after arming, then
+          disarm. *)
+  | Prob of float
+      (** Fire each evaluation independently with this probability, drawn
+          from the site's own PRNG (seeded explicitly at {!arm} time so a
+          schedule replays exactly).  Stays armed. *)
+
+val arm : ?seed:int -> string -> policy:policy -> action:action -> unit
+(** Arm (or re-arm, resetting the hit counter) a site.  [seed] feeds the
+    site's PRNG; it only matters for {!Prob} policies.  Raises
+    [Invalid_argument] on a non-positive hit count or a probability outside
+    [0, 1]. *)
+
+val disarm : string -> unit
+(** Remove one armed site; no-op if not armed. *)
+
+val reset : unit -> unit
+(** Disarm every site and clear all hit/fired statistics. *)
+
+val hit : string -> unit
+(** Evaluate a site and perform the resulting action, if any.  [Crash] and
+    [Torn_write] kill the process; [Delay] sleeps.  The fast path (nothing
+    armed anywhere) is one atomic load. *)
+
+val check : string -> action option
+(** Like {!hit} but returns the fired action for the caller to perform —
+    used by frame-writing sites that implement [Torn_write] themselves.
+    Policy state (hit counters, one-shot disarming) advances exactly as for
+    {!hit}. *)
+
+val act : action -> unit
+(** Perform an action obtained from {!check}: [Crash] and [Torn_write]
+    crash, [Delay] sleeps. *)
+
+val crash : unit -> 'a
+(** SIGKILL the current process. *)
+
+val armed : string -> bool
+
+val hits : string -> int
+(** Evaluations of a site since it was last armed (survives disarm). *)
+
+val fired : string -> int
+(** Times a site's policy fired (survives disarm). *)
+
+val parse_spec : string -> ((string * policy * action) list, string) result
+(** Parse a failpoint schedule of the form
+    [SITE=ACTION[@POLICY];SITE=ACTION[@POLICY];…] where [ACTION] is
+    [crash], [torn:F] or [delay:S], and [POLICY] is [once] (default),
+    [hit:N] or [p:P]. *)
+
+val arm_spec : ?seed:int -> string -> (unit, string) result
+(** {!parse_spec} then {!arm} every entry. *)

@@ -372,3 +372,30 @@ let gen_doc : Dom.t QCheck2.Gen.t =
   return (Dom.normalize { Dom.root = { name = Qname.make name; attrs; children } })
 
 let print_doc d = Xml.Xml_serialize.to_string ~indent:true d
+
+(* --------------------------------------------- reproducible properties -- *)
+
+(* One process-wide PRNG seed for all property suites: taken from
+   QCHECK_SEED when set, self-chosen otherwise, and always announced on
+   stderr so any failure replays with `QCHECK_SEED=<n> dune runtest`. *)
+let qcheck_seed =
+  lazy
+    (let seed =
+       match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+       | Some s -> s
+       | None ->
+         Random.self_init ();
+         Random.int 1_000_000_000
+     in
+     Printf.eprintf "qcheck random seed: %d (replay: QCHECK_SEED=%d dune runtest)\n%!"
+       seed seed;
+     seed)
+
+(* Each case gets its own stream, derived from the seed and the (stable)
+   registration order, so filtering the alcotest run never shifts streams. *)
+let qcheck_count = ref 0
+
+let qcheck_case test =
+  incr qcheck_count;
+  let rand = Random.State.make [| Lazy.force qcheck_seed; !qcheck_count |] in
+  QCheck_alcotest.to_alcotest ~rand test

@@ -261,7 +261,7 @@ let () =
         [ Alcotest.test_case "paper doc vs oracle" `Quick test_axes_paper;
           Alcotest.test_case "small doc vs oracle" `Quick test_axes_small;
           Alcotest.test_case "context sets and pruning" `Quick test_context_sets;
-          QCheck_alcotest.to_alcotest prop_axes_random ] );
+          Testsupport.qcheck_case prop_axes_random ] );
       ( "engine",
         [ Alcotest.test_case "basic paths" `Quick test_engine_basic_paths;
           Alcotest.test_case "predicates" `Quick test_engine_predicates;
@@ -272,4 +272,4 @@ let () =
           Alcotest.test_case "kind module" `Quick test_kind_module;
           Alcotest.test_case "qname ordering/validation" `Quick
             test_qname_ordering_and_validation;
-          QCheck_alcotest.to_alcotest prop_engine_schemas_agree ] ) ]
+          Testsupport.qcheck_case prop_engine_schemas_agree ] ) ]

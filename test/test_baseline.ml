@@ -198,4 +198,4 @@ let () =
           Alcotest.test_case "ancestor" `Quick test_ordpath_ancestor;
           Alcotest.test_case "between properties" `Quick test_ordpath_between_properties;
           Alcotest.test_case "degeneration" `Quick test_ordpath_degenerates;
-          QCheck_alcotest.to_alcotest prop_ordpath_repeated_between ] ) ]
+          Testsupport.qcheck_case prop_ordpath_repeated_between ] ) ]

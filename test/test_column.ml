@@ -278,10 +278,10 @@ let () =
         [ Alcotest.test_case "identity" `Quick test_pagemap_identity;
           Alcotest.test_case "splice" `Quick test_pagemap_splice;
           Alcotest.test_case "of_array" `Quick test_pagemap_of_array;
-          QCheck_alcotest.to_alcotest prop_pagemap_bijection ] );
+          Testsupport.qcheck_case prop_pagemap_bijection ] );
       ( "persist",
         [ Alcotest.test_case "codec roundtrip" `Quick test_persist_roundtrip;
           Alcotest.test_case "frames" `Quick test_persist_frames;
           Alcotest.test_case "torn frame" `Quick test_persist_torn_frame;
           Alcotest.test_case "corrupt frame" `Quick test_persist_corrupt_frame;
-          QCheck_alcotest.to_alcotest prop_persist_varray ] ) ]
+          Testsupport.qcheck_case prop_persist_varray ] ) ]

@@ -207,4 +207,4 @@ let () =
   Alcotest.run "engine_random"
     [ ( "oracle",
         [ Alcotest.test_case "tricky fixed expressions" `Quick test_tricky_fixed;
-          QCheck_alcotest.to_alcotest prop_random_queries ] ) ]
+          Testsupport.qcheck_case prop_random_queries ] ) ]

@@ -269,7 +269,7 @@ let () =
     [ ( "snapshots",
         [ Alcotest.test_case "stable across commit" `Quick
             test_snapshot_stable_across_commit;
-          QCheck_alcotest.to_alcotest prop_snapshot_frozen ] );
+          Testsupport.qcheck_case prop_snapshot_frozen ] );
       ( "lock-free reads",
         [ Alcotest.test_case "no locks on read path" `Quick
             test_reads_take_no_locks;

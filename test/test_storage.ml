@@ -244,7 +244,7 @@ let () =
           Alcotest.test_case "kinds and content" `Quick test_ro_kinds_and_content;
           Alcotest.test_case "attributes by pre" `Quick test_ro_attributes;
           Alcotest.test_case "roundtrip" `Quick test_ro_roundtrip;
-          QCheck_alcotest.to_alcotest prop_ro_roundtrip ] );
+          Testsupport.qcheck_case prop_ro_roundtrip ] );
       ( "schema_up",
         [ Alcotest.test_case "shred geometry" `Quick test_up_shred_geometry;
           Alcotest.test_case "free runs" `Quick test_up_free_runs;
@@ -256,4 +256,4 @@ let () =
           Alcotest.test_case "node id recycling" `Quick test_up_fresh_node_recycling;
           Alcotest.test_case "set_pagemap guard" `Quick test_up_set_pagemap_guard;
           Alcotest.test_case "skip edges" `Quick test_up_skip_edges;
-          QCheck_alcotest.to_alcotest prop_up_roundtrip ] ) ]
+          Testsupport.qcheck_case prop_up_roundtrip ] ) ]

@@ -361,4 +361,4 @@ let () =
         [ Alcotest.test_case "subtree" `Quick test_delete_subtree;
           Alcotest.test_case "freed slots reused" `Quick test_delete_then_insert_reuses_slots ] );
       ("values", [ Alcotest.test_case "text and attributes" `Quick test_value_updates ]);
-      ("property", [ QCheck_alcotest.to_alcotest prop_update_mirror ]) ]
+      ("property", [ Testsupport.qcheck_case prop_update_mirror ]) ]

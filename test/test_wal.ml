@@ -220,7 +220,7 @@ let () =
     [ ( "codec",
         [ Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
           Alcotest.test_case "corrupt payload" `Quick test_record_corrupt;
-          QCheck_alcotest.to_alcotest prop_record_roundtrip ] );
+          Testsupport.qcheck_case prop_record_roundtrip ] );
       ( "recovery",
         [ Alcotest.test_case "replay reproduces document" `Quick
             test_wal_replay_reproduces_document;

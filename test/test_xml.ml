@@ -201,4 +201,4 @@ let () =
       ( "serialiser",
         [ Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
           Alcotest.test_case "escaping" `Quick test_serialize_escaping;
-          QCheck_alcotest.to_alcotest prop_roundtrip ] ) ]
+          Testsupport.qcheck_case prop_roundtrip ] ) ]

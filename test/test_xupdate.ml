@@ -326,4 +326,4 @@ let () =
             test_pre_shifts_between_targets;
           Alcotest.test_case "rename" `Quick test_rename;
           Alcotest.test_case "rename errors" `Quick test_rename_errors;
-          QCheck_alcotest.to_alcotest prop_geometry_equivalence ] ) ]
+          Testsupport.qcheck_case prop_geometry_equivalence ] ) ]
