@@ -9,6 +9,8 @@
      concurrency  commutative size deltas vs an ancestor-locking protocol
      mvcc         writer commit throughput under concurrent snapshot readers
                   (writes BENCH_mvcc.json; gated in CI via --baseline)
+     parallel     domain-pool query scaling over one pinned snapshot
+                  (writes BENCH_parallel.json; 1-domain overhead is gated)
      ordpath      variable-length labels degenerate; fixed keys do not
      rdbms        positional (void) access vs a B-tree-indexed SQL host
      storage      the ~25% space overhead of the updateable schema
@@ -666,6 +668,120 @@ let run_mvcc ~duration =
      blocked the writer for its whole scan; snapshot reads leave the commit\n\
      rate flat (residual slowdown on 1-2 cores is CPU timesharing)."
 
+(* -------------------------------------------------------------- parallel -- *)
+
+(* Domain-parallel query scaling: the same XMark descendant queries, one
+   snapshot, evaluated sequentially and with pools of 1/2/4/8 domains. The
+   scaling curve is only meaningful with real cores — the JSON records
+   [cores] so consumers can judge — but the 1-domain row is meaningful
+   anywhere: a 1-domain pool takes the pure sequential path, so its ratio to
+   the plain sequential run gates the cost of having the parallel machinery
+   in the code path at all ([par_overhead_1d], lower is better). *)
+let run_parallel ~scale ~quota =
+  header "Parallel queries: domain-pool scaling over one pinned snapshot";
+  (* below ~0.01 the document is smaller than the default range cutoff and
+     nothing would be partitioned *)
+  let scale = Float.max scale 0.01 in
+  let d, t_gen = wall (fun () -> Xmark.Gen.of_scale scale) in
+  let nodes = Xml.Dom.node_count d in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "scale %.4f: %d nodes (generated in %.1fs); %d core(s) available\n%!"
+    scale nodes t_gen cores;
+  let db = Core.Db.create ~page_bits:10 ~fill:0.8 d in
+  let queries =
+    [ "//item"; "//keyword"; "//item//keyword"; "//open_auction//bidder" ]
+  in
+  let seq_results = List.map (fun q -> Core.Db.query db q) queries in
+  let t_seq =
+    List.map
+      (fun q -> bench_ns ~quota ("seq/" ^ q) (fun () -> ignore (Core.Db.query db q)))
+      queries
+  in
+  let widths = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun domains ->
+        Core.Par.with_pool ~domains (fun pool ->
+            (* identical answers before we time anything *)
+            List.iter2
+              (fun q expect ->
+                if Core.Db.query ~par:pool db q <> expect then
+                  failwith
+                    (Printf.sprintf "parallel result differs at %d domains: %s"
+                       domains q))
+              queries seq_results;
+            let ts =
+              List.map
+                (fun q ->
+                  bench_ns ~quota
+                    (Printf.sprintf "par%d/%s" domains q)
+                    (fun () -> ignore (Core.Db.query ~par:pool db q)))
+                queries
+            in
+            (domains, ts)))
+      widths
+  in
+  let avg_speedup ts =
+    let ratios = List.map2 (fun s p -> s /. p) t_seq ts in
+    List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  Printf.printf "\n%-24s %12s" "query" "seq ns";
+  List.iter (fun w -> Printf.printf " %11s" (Printf.sprintf "%dd ns" w)) widths;
+  print_newline ();
+  List.iteri
+    (fun i q ->
+      Printf.printf "%-24s %12.0f" q (List.nth t_seq i);
+      List.iter (fun (_, ts) -> Printf.printf " %11.0f" (List.nth ts i)) rows;
+      print_newline ())
+    queries;
+  let overhead_1d =
+    let ts = List.assoc 1 rows in
+    List.fold_left ( +. ) 0.0 ts /. List.fold_left ( +. ) 0.0 t_seq
+  in
+  let speedup_4d = avg_speedup (List.assoc 4 rows) in
+  Printf.printf "\n1-domain overhead vs sequential: %.3fx (gate: <= 1.10x)\n"
+    overhead_1d;
+  List.iter
+    (fun (w, ts) -> Printf.printf "avg speedup at %d domains: %.2fx\n" w (avg_speedup ts))
+    rows;
+  if cores < 4 then
+    Printf.printf
+      "(only %d core(s): domains timeshare, speedups above ~1x are not \
+       expected on this machine)\n"
+      cores;
+  record_gate "par_overhead_1d" overhead_1d;
+  let oc = open_out "BENCH_parallel.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"scale\": %g,\n\
+        \  \"nodes\": %d,\n\
+        \  \"cores\": %d,\n\
+        \  \"queries\": [%s],\n\
+        \  \"seq_ns\": [%s],\n\
+        \  \"rows\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"overhead_1d\": %g,\n\
+        \  \"speedup_4d\": %g\n\
+         }\n"
+        scale nodes cores
+        (String.concat ", " (List.map (Printf.sprintf "\"%s\"") queries))
+        (String.concat ", " (List.map (Printf.sprintf "%.1f") t_seq))
+        (String.concat ",\n"
+           (List.map
+              (fun (w, ts) ->
+                Printf.sprintf
+                  "    { \"domains\": %d, \"ns\": [%s], \"avg_speedup\": %.3f }"
+                  w
+                  (String.concat ", " (List.map (Printf.sprintf "%.1f") ts))
+                  (avg_speedup ts))
+              rows))
+        overhead_1d speedup_4d);
+  print_endline "results written to BENCH_parallel.json"
+
 (* -------------------------------------------------------------- baseline -- *)
 
 (* bench/baseline.json is a flat {"gate": number} object; every gate is a
@@ -752,7 +868,7 @@ let () =
         "gate file: fail (exit 1) when a measured gate exceeds baseline by >20%" ) ]
   in
   Arg.parse spec (fun x -> experiments := x :: !experiments)
-    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|mvcc|ordpath|storage|all]*";
+    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|ordpath|storage|all]*";
   let chosen = match !experiments with [] -> [ "all" ] | l -> List.rev l in
   let want name = List.mem name chosen || List.mem "all" chosen in
   if want "fig9" then run_fig9 ~scales:!scales ~quota:!quota;
@@ -762,6 +878,8 @@ let () =
   if want "insert-cost" then run_insert_cost ();
   if want "concurrency" then run_concurrency ~ops_per_writer:!ops;
   if want "mvcc" then run_mvcc ~duration:!duration;
+  if want "parallel" then
+    run_parallel ~scale:(List.fold_left Float.max 0.0005 !scales) ~quota:!quota;
   if want "ordpath" then run_ordpath ();
   if want "rdbms" then
     run_rdbms ~scale:(List.fold_left max 0.0005 !scales /. 5.0) ~quota:!quota;

@@ -78,19 +78,33 @@ let render_metrics = function
 
 (* ------------------------------------------------------------------ query *)
 
+let domains_arg =
+  let doc =
+    "Evaluate queries with a pool of $(docv) domains (1 = sequential). Axis \
+     steps are partitioned across the pool against the same pinned snapshot."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Build a pool for --domains N (None when N = 1: no pool, pure sequential
+   entry points) and run [f] with it, shutting the workers down after. *)
+let with_domains n f =
+  if n <= 1 then f None
+  else Core.Par.with_pool ~domains:n (fun pool -> f (Some pool))
+
 let query_cmd =
   let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
   let count_only =
     Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print only the result count.")
   in
-  let run path xpath count_only page_bits fill metrics =
+  let run path xpath count_only page_bits fill domains metrics =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
         let code =
           (* One session: the query and the serialisation of its results
              read the same pinned snapshot. *)
           match
-            Core.Db.read_txn db (fun s ->
+            with_domains domains @@ fun par ->
+            Core.Db.read_txn ?par db (fun s ->
                 match Core.Db.Session.query_r s xpath with
                 | Error _ as e -> e
                 | Ok items ->
@@ -117,7 +131,9 @@ let query_cmd =
   in
   let info = Cmd.info "query" ~doc:"Evaluate an XPath expression over a document." in
   Cmd.v info
-    Term.(const run $ doc_arg $ xpath $ count_only $ page_bits $ fill $ metrics_flag)
+    Term.(
+      const run $ doc_arg $ xpath $ count_only $ page_bits $ fill $ domains_arg
+      $ metrics_flag)
 
 (* ----------------------------------------------------------------- xquery *)
 
@@ -384,15 +400,29 @@ let concurrent_cmd =
              interference rather than core timesharing (set 0 for a raw \
              CPU-bound stress).")
   in
-  let stress db ~readers ~writers ~duration ~query ~think =
+  let par_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "par-domains" ]
+          ~docv:"N"
+          ~doc:
+            "Mixed mode: readers alternate sequential queries with \
+             domain-parallel ones on a shared $(docv)-domain pool, so \
+             parallel evaluation is stressed against concurrent commits and \
+             other parallel readers.")
+  in
+  let stress db ~par ~readers ~writers ~duration ~query ~think =
     let stop = Atomic.make false in
     let reads = Atomic.make 0
     and commits = Atomic.make 0
     and aborts = Atomic.make 0
     and read_errors = Atomic.make 0 in
     let reader () =
+      let i = ref 0 in
       while not (Atomic.get stop) do
-        (match Core.Db.query_r db query with
+        let par = if !i land 1 = 1 then par else None in
+        incr i;
+        (match Core.Db.query_r ?par db query with
         | Ok _ -> Atomic.incr reads
         | Error _ -> Atomic.incr read_errors);
         if think > 0.0 then Unix.sleepf think
@@ -436,16 +466,18 @@ let concurrent_cmd =
       Atomic.get aborts,
       Atomic.get read_errors )
   in
-  let run path readers writers duration query think page_bits fill metrics =
+  let run path readers writers duration query think par_domains page_bits fill
+      metrics =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
+        with_domains par_domains @@ fun par ->
         let base_commit_rate, _, base_aborts, _ =
-          stress db ~readers:0 ~writers ~duration ~query ~think
+          stress db ~par:None ~readers:0 ~writers ~duration ~query ~think
         in
         Printf.printf "phase 1 (%d writer(s), 0 readers): %.0f commits/s (%d aborts)\n%!"
           writers base_commit_rate base_aborts;
         let commit_rate, read_rate, aborts, read_errors =
-          stress db ~readers ~writers ~duration ~query ~think
+          stress db ~par ~readers ~writers ~duration ~query ~think
         in
         Printf.printf
           "phase 2 (%d writer(s), %d reader(s)): %.0f commits/s, %.0f reads/s (%d aborts)\n"
@@ -469,7 +501,7 @@ let concurrent_cmd =
   Cmd.v info
     Term.(
       const run $ doc_arg $ readers $ writers $ duration $ query $ think
-      $ page_bits $ fill $ metrics_flag)
+      $ par_domains $ page_bits $ fill $ metrics_flag)
 
 (* ---------------------------------------------------------------- torture *)
 

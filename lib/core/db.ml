@@ -118,18 +118,18 @@ let close t = Option.iter Wal.close t.wal_handle
 
 let read t f = Txn.read t.mgr f
 
-let query t src =
+let query ?par t src =
   Obs.Span.with_ "db.query" (fun () ->
       let path = Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src) in
-      read t (fun v -> Obs.Span.with_ "engine.eval" (fun () -> E.eval_items v path)))
+      read t (fun v -> Obs.Span.with_ "engine.eval" (fun () -> E.eval_items ?par v path)))
 
-let query_r t src = capture (fun () -> query t src)
+let query_r ?par t src = capture (fun () -> query ?par t src)
 
-let query_strings t src =
+let query_strings ?par t src =
   let path = Xpath.Xpath_parser.parse src in
-  read t (fun v -> List.map (E.item_string v) (E.eval_items v path))
+  read t (fun v -> List.map (E.item_string v) (E.eval_items ?par v path))
 
-let query_count t src = List.length (query t src)
+let query_count ?par t src = List.length (query ?par t src)
 
 let to_xml ?indent t = read t (fun v -> Ser.to_string ?indent v)
 
@@ -150,20 +150,24 @@ let update_r t src = capture (fun () -> update t src)
 (* -------------------------------------------------------------- sessions -- *)
 
 module Session = struct
-  type t = { v : View.t; writable : bool }
+  (* [par] is only ever set on read sessions: parallel workers read the
+     session's view from other domains, which is safe for pinned snapshots
+     (immutable after capture) but not for staged writable views. *)
+  type t = { v : View.t; writable : bool; par : Par.t option }
 
   let view s = s.v
 
   let writable s = s.writable
 
-  let query s src = E.eval_items s.v (Xpath.Xpath_parser.parse src)
+  let query s src = E.eval_items ?par:s.par s.v (Xpath.Xpath_parser.parse src)
 
   let query_r s src = capture (fun () -> query s src)
 
   let count s src = List.length (query s src)
 
   let strings s src =
-    List.map (E.item_string s.v) (E.eval_items s.v (Xpath.Xpath_parser.parse src))
+    List.map (E.item_string s.v)
+      (E.eval_items ?par:s.par s.v (Xpath.Xpath_parser.parse src))
 
   let serialize ?indent s = Ser.to_string ?indent s.v
 
@@ -177,11 +181,13 @@ module Session = struct
   let update_r s src = capture (fun () -> update s src)
 end
 
-let read_txn t f = Txn.read t.mgr (fun v -> f { Session.v = v; writable = false })
+let read_txn ?par t f =
+  Txn.read t.mgr (fun v -> f { Session.v = v; writable = false; par })
 
-let write_txn t f = with_write t (fun v -> f { Session.v = v; writable = true })
+let write_txn t f =
+  with_write t (fun v -> f { Session.v = v; writable = true; par = None })
 
-let read_txn_r t f = capture (fun () -> read_txn t f)
+let read_txn_r ?par t f = capture (fun () -> read_txn ?par t f)
 
 let write_txn_r t f = capture (fun () -> write_txn t f)
 

@@ -123,31 +123,39 @@ module Session : sig
       {!Staircase} interop). *)
 end
 
-val read_txn : t -> (Session.t -> 'a) -> 'a
+val read_txn : ?par:Par.t -> t -> (Session.t -> 'a) -> 'a
 (** Run [f] in one read session: a pinned snapshot; every [Session.query]
     inside sees the same committed state, and no lock is held while [f]
-    runs. *)
+    runs.
+
+    With [?par], queries in the session are evaluated in parallel on the
+    pool (see {!Engine}): workers read the {e caller's} pinned snapshot from
+    other domains, which is safe because version descriptors are immutable
+    after capture and the pin is held for the whole of [f] (parallel batches
+    always complete inside [f]). Write sessions never parallelise. *)
 
 val write_txn : t -> (Session.t -> 'a) -> 'a
 (** Run [f] in one write session; commits when [f] returns, aborts on
     exception (raises {!Txn.Aborted} like {!with_write}). *)
 
-val read_txn_r : t -> (Session.t -> 'a) -> ('a, Error.t) result
+val read_txn_r : ?par:Par.t -> t -> (Session.t -> 'a) -> ('a, Error.t) result
 
 val write_txn_r : t -> (Session.t -> 'a) -> ('a, Error.t) result
 (** Result-returning variants: transaction failures land in [Error]. *)
 
 (** {1 Queries (read transactions)} *)
 
-val query : t -> string -> E.item list
-(** Evaluate an XPath against a pinned snapshot (no lock held). Raises
-    {!Xpath.Xpath_parser.Syntax_error} on bad input; prefer {!query_r}. *)
+val query : ?par:Par.t -> t -> string -> E.item list
+(** Evaluate an XPath against a pinned snapshot (no lock held). With
+    [?par], axis steps run domain-parallel against the snapshot (same
+    results; see {!read_txn}). Raises {!Xpath.Xpath_parser.Syntax_error} on
+    bad input; prefer {!query_r}. *)
 
-val query_r : t -> string -> (E.item list, Error.t) result
+val query_r : ?par:Par.t -> t -> string -> (E.item list, Error.t) result
 
-val query_strings : t -> string -> string list
+val query_strings : ?par:Par.t -> t -> string -> string list
 
-val query_count : t -> string -> int
+val query_count : ?par:Par.t -> t -> string -> int
 
 val to_xml : ?indent:bool -> t -> string
 (** Serialise the whole document. *)

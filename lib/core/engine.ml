@@ -48,6 +48,64 @@ let counter_of_axis = function
 
 let m_items = Obs.counter ~help:"items produced by path evaluations" "engine.items"
 
+(* Positional predicates count within one context's axis result, so they pin
+   the per-context evaluation order and rule out the range strategy. *)
+let positional = List.exists (function Pos _ | Last -> true | _ -> false)
+
+(* Contiguous n-way split, near-equal sizes, order preserved. *)
+let chunk_list n xs =
+  let len = List.length xs in
+  let n = max 1 (min n len) in
+  if n <= 1 then [ xs ]
+  else begin
+    let base = len / n and extra = len mod n in
+    let rec take k xs acc =
+      if k = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    let rec go i xs acc =
+      if xs = [] then List.rev acc
+      else
+        let k = base + if i < extra then 1 else 0 in
+        let c, rest = take k xs [] in
+        go (i + 1) rest (c :: acc)
+    in
+    go 0 xs []
+  end
+
+(* Cut sorted disjoint [lo, hi) ranges into chunks of roughly [per] slots. A
+   cut may fall inside a range: every used slot of a pruned context's region
+   is one of its descendants, so a scan can resume mid-subtree. *)
+let split_ranges per ranges =
+  let chunks = ref [] and cur = ref [] and fill = ref 0 in
+  let flush () =
+    if !cur <> [] then begin
+      chunks := List.rev !cur :: !chunks;
+      cur := [];
+      fill := 0
+    end
+  in
+  let rec add (lo, hi) =
+    let len = hi - lo in
+    if len <= 0 then ()
+    else if !fill + len < per then begin
+      cur := (lo, hi) :: !cur;
+      fill := !fill + len
+    end
+    else begin
+      let take = per - !fill in
+      cur := (lo, lo + take) :: !cur;
+      flush ();
+      add (lo + take, hi)
+    end
+  in
+  List.iter add ranges;
+  flush ();
+  List.rev !chunks
+
 module Make (S : Storage_intf.S) = struct
   module Sj = Staircase.Make (S)
 
@@ -109,48 +167,139 @@ module Make (S : Storage_intf.S) = struct
 
   type value_result = VStr of string | VNum of float | VNone
 
-  let rec eval_steps t ctxs steps =
+  (* Parallel evaluation ([~par] is a Par.t pool) partitions one axis step
+     over the pool's domains; predicate sub-paths always run sequentially
+     inside whichever domain evaluates them (workers never re-submit, so the
+     pool cannot deadlock on itself). Two plans:
+
+     - range: a descendant step without positional predicates scans, after
+       staircase pruning, a union of pairwise disjoint document-order
+       regions; cutting that multi-range into equal-span chunks gives
+       partitions whose outputs are sorted and disjoint — concatenation is
+       the merge. This parallelises //x even from a single context.
+     - ctx: any other step is partitioned by context list; per-context
+       evaluation (including positional predicates, which XPath defines per
+       context) is untouched, and the usual sort_uniq merges the parts.
+
+     Both produce exactly the sequential result: the sequential path is
+     sort_uniq over the concatenation of independent per-context (or
+     per-region) evaluations, and the partitions only regroup that work. *)
+  let rec eval_steps ~par t ctxs steps =
     match steps with
     | [] -> List.map (fun c -> Node c) ctxs
     | [ { axis = Attribute; test; preds } ] ->
       Obs.add m_ax_attribute (List.length ctxs);
+      let attrs_of ctx =
+        if ctx = doc_node then []
+        else if S.kind t ctx <> Kind.Element then []
+        else
+          List.filter_map
+            (fun (qn, value) ->
+              let keep =
+                match test with
+                | Name q -> Xml.Qname.equal q qn
+                | Wildcard | Kind_node -> true
+                | Kind_text | Kind_comment | Kind_pi _ -> false
+              in
+              if keep then Some (Attribute { owner = ctx; qn; value }) else None)
+            (S.attributes t ctx)
+      in
       let attrs =
-        List.concat_map
-          (fun ctx ->
-            if ctx = doc_node then []
-            else if S.kind t ctx <> Kind.Element then []
-            else
-              List.filter_map
-                (fun (qn, value) ->
-                  let keep =
-                    match test with
-                    | Name q -> Xml.Qname.equal q qn
-                    | Wildcard | Kind_node -> true
-                    | Kind_text | Kind_comment | Kind_pi _ -> false
-                  in
-                  if keep then Some (Attribute { owner = ctx; qn; value }) else None)
-                (S.attributes t ctx))
-          ctxs
+        match par with
+        | Some pool
+          when Par.domains pool > 1 && List.length ctxs >= Par.ctx_cutoff pool ->
+          let chunks = chunk_list (Par.domains pool) ctxs in
+          Par.note_parallel_step `Ctx (List.length chunks);
+          let parts =
+            Par.run pool
+              (List.map (fun chunk () -> List.concat_map attrs_of chunk) chunks)
+          in
+          (* predicates below see the same concatenation order as the
+             sequential path, so positional predicates stay correct *)
+          Par.time_merge (fun () -> List.concat parts)
+        | Some _ | None -> List.concat_map attrs_of ctxs
       in
       List.fold_left (fun items p -> apply_pred_items t items p) attrs preds
     | { axis = Attribute; _ } :: _ :: _ ->
       invalid_arg "Engine: attribute axis must be the final step"
     | { axis; test; preds } :: rest ->
       Obs.add (counter_of_axis axis) (List.length ctxs);
-      let out =
-        List.concat_map
-          (fun ctx ->
-            let candidates =
-              List.filter (matches_test t test) (axis_one t axis ctx)
-            in
-            let items = List.map (fun c -> Node c) candidates in
-            let survivors =
-              List.fold_left (fun items p -> apply_pred_items t items p) items preds
-            in
-            List.filter_map (function Node c -> Some c | Attribute _ -> None) survivors)
-          ctxs
+      let step_one ctx =
+        let candidates = List.filter (matches_test t test) (axis_one t axis ctx) in
+        let items = List.map (fun c -> Node c) candidates in
+        let survivors =
+          List.fold_left (fun items p -> apply_pred_items t items p) items preds
+        in
+        List.filter_map (function Node c -> Some c | Attribute _ -> None) survivors
       in
-      eval_steps t (List.sort_uniq compare out) rest
+      let seq () = List.sort_uniq compare (List.concat_map step_one ctxs) in
+      let out =
+        match par with
+        | None -> seq ()
+        | Some pool when Par.domains pool <= 1 -> seq ()
+        | Some pool -> (
+          let rangeable =
+            (match axis with Descendant | Descendant_or_self -> true | _ -> false)
+            && not (positional preds)
+          in
+          let ranges =
+            if not rangeable then []
+            else
+              match ctxs with
+              | [ c ] when c = doc_node ->
+                (* every used slot from the root on is a descendant of the
+                   virtual document node (or the root itself) *)
+                [ (S.root_pre t, S.extent t) ]
+              | _ when List.mem doc_node ctxs -> []
+              | _ ->
+                let or_self = axis = Descendant_or_self in
+                List.filter_map
+                  (fun c ->
+                    let lo = if or_self then c else c + 1 in
+                    let hi = Sj.subtree_end t c in
+                    if lo < hi then Some (lo, hi) else None)
+                  (Sj.prune_covered t ctxs)
+          in
+          let span = List.fold_left (fun a (lo, hi) -> a + (hi - lo)) 0 ranges in
+          if rangeable && span >= Par.range_cutoff pool then begin
+            let per = max 1 ((span + Par.domains pool - 1) / Par.domains pool) in
+            let chunks = split_ranges per ranges in
+            Par.note_parallel_step `Range (List.length chunks);
+            let scan chunk () =
+              let out = ref [] in
+              List.iter
+                (fun (lo, hi) ->
+                  let rec go pre =
+                    if pre < hi then begin
+                      if
+                        matches_test t test pre
+                        && List.for_all (fun p -> eval_pred t (Node pre) p) preds
+                      then out := pre :: !out;
+                      go (S.next_used t (pre + 1))
+                    end
+                  in
+                  go (S.next_used t lo))
+                chunk;
+              List.rev !out
+            in
+            let parts = Par.run pool (List.map scan chunks) in
+            (* partition outputs are sorted and pairwise disjoint (pruning
+               made the regions disjoint): concatenation IS the sorted
+               duplicate-free union *)
+            Par.time_merge (fun () -> List.concat parts)
+          end
+          else if List.length ctxs >= Par.ctx_cutoff pool then begin
+            let chunks = chunk_list (Par.domains pool) ctxs in
+            Par.note_parallel_step `Ctx (List.length chunks);
+            let parts =
+              Par.run pool
+                (List.map (fun chunk () -> List.concat_map step_one chunk) chunks)
+            in
+            Par.time_merge (fun () -> List.sort_uniq compare (List.concat parts))
+          end
+          else seq ())
+      in
+      eval_steps ~par t out rest
 
   (* Predicates filter an ordered candidate list; positions are 1-based
      indices into the list surviving the previous predicate. *)
@@ -224,39 +373,40 @@ module Make (S : Storage_intf.S) = struct
       | first :: _ -> VStr (item_string t first))
     | Count p -> VNum (float_of_int (List.length (eval_rel t it p)))
 
-  (* Relative path from a predicate's context item. *)
+  (* Relative path from a predicate's context item. Always sequential: it
+     may run inside a pool worker, and workers must never re-submit. *)
   and eval_rel t it p =
-    if p.absolute then eval_steps t [ doc_node ] p.steps
+    if p.absolute then eval_steps ~par:None t [ doc_node ] p.steps
     else
       match it with
-      | Node ctx -> eval_steps t [ ctx ] p.steps
+      | Node ctx -> eval_steps ~par:None t [ ctx ] p.steps
       | Attribute _ -> [] (* no forward axes from attribute nodes *)
 
-  let eval_items t ?context p =
+  let eval_items t ?par ?context p =
     let items =
       if p.absolute then
         if p.steps = [] then [ Node (S.root_pre t) ]
-        else eval_steps t [ doc_node ] p.steps
+        else eval_steps ~par t [ doc_node ] p.steps
       else
         let ctxs = match context with Some c -> c | None -> [ S.root_pre t ] in
-        eval_steps t ctxs p.steps
+        eval_steps ~par t ctxs p.steps
     in
     Obs.add m_items (List.length items);
     items
 
-  let eval_nodes t ?context p =
+  let eval_nodes t ?par ?context p =
     List.map
       (function
         | Node pre -> pre
         | Attribute _ -> invalid_arg "Engine.eval_nodes: attribute result")
-      (eval_items t ?context p)
+      (eval_items t ?par ?context p)
 
-  let eval_string t ?context p =
-    match eval_items t ?context p with
+  let eval_string t ?par ?context p =
+    match eval_items t ?par ?context p with
     | [] -> None
     | it :: _ -> Some (item_string t it)
 
-  let count t ?context p = List.length (eval_items t ?context p)
+  let count t ?par ?context p = List.length (eval_items t ?par ?context p)
 
-  let parse_eval t src = eval_items t (Xpath.Xpath_parser.parse src)
+  let parse_eval t ?par src = eval_items t ?par (Xpath.Xpath_parser.parse src)
 end

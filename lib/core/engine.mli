@@ -10,7 +10,29 @@
       value of its {e first} result node only;
     - comparisons where either operand is numeric are numeric (non-numeric
       strings compare false); otherwise string comparison;
-    - the attribute axis is only valid as the final step of a path. *)
+    - the attribute axis is only valid as the final step of a path.
+
+    {2 Parallel evaluation}
+
+    Every entry point takes [?par]. With a {!Par} pool, axis steps are
+    partitioned across the pool's domains and evaluated against the same
+    storage value, which must therefore be domain-safe for reads — snapshot
+    views are (their version descriptors are immutable after capture);
+    staged writable views are not. Results are identical to the sequential
+    ones. Two plans are used:
+
+    - {e range}: descendant steps without positional predicates scan, after
+      staircase pruning, disjoint document-order regions; the combined span
+      is cut into equal-slot chunks (a cut may split one subtree — every
+      used slot inside a pruned region is a descendant of its context), and
+      the sorted disjoint partials concatenate into the final result.
+    - {e ctx}: all other steps are partitioned by context list, keeping
+      per-context semantics (positional predicates count per context);
+      partials are merged with the same sort_uniq as the sequential path.
+
+    Steps under the pool's cutoffs, and all predicate sub-paths, run
+    sequentially (the latter also means pool workers never re-enter the
+    pool). *)
 
 module Make (S : Storage_intf.S) : sig
   type item =
@@ -23,20 +45,23 @@ module Make (S : Storage_intf.S) : sig
 
   val item_string : S.t -> item -> string
 
-  val eval_items : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> item list
+  val eval_items :
+    S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> item list
   (** Evaluate a path. Relative paths start from [context] (default: the
       root element); absolute paths always start from the virtual document
       node. Node results are in document order, duplicate-free. *)
 
-  val eval_nodes : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> int list
+  val eval_nodes :
+    S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> int list
   (** Like {!eval_items} but attribute results raise [Invalid_argument]
       (update targets must be tree nodes). *)
 
-  val eval_string : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> string option
+  val eval_string :
+    S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> string option
   (** String value of the first result, if any. *)
 
-  val count : S.t -> ?context:int list -> Xpath.Xpath_ast.path -> int
+  val count : S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> int
 
-  val parse_eval : S.t -> string -> item list
+  val parse_eval : S.t -> ?par:Par.t -> string -> item list
   (** Parse and evaluate in one call (raises {!Xpath.Xpath_parser.Syntax_error}). *)
 end

@@ -1,0 +1,165 @@
+(* Fixed domain pool. One shared FIFO of closures, a mutex + condition pair
+   for the workers, and per-batch completion tracked in the caller: the
+   structure every thunk runs exactly once, results land by index, and the
+   caller participates (runs thunk 0, then drains the queue) so no domain
+   waits while work is pending. *)
+
+let m_tasks = Obs.counter ~help:"tasks executed by pool domains" "par.tasks"
+
+let m_steps kind =
+  Obs.counter ~help:"axis steps evaluated in parallel"
+    ~labels:[ ("kind", kind) ]
+    "par.parallel_steps"
+
+let m_steps_range = m_steps "range"
+
+let m_steps_ctx = m_steps "ctx"
+
+let m_partitions =
+  Obs.counter ~help:"partitions produced by parallel axis steps" "par.partitions"
+
+let m_merge = Obs.histogram ~help:"partial-result merge latency (s)" "par.merge_s"
+
+let m_pool = Obs.gauge ~help:"domains of the most recent pool" "par.pool_domains"
+
+let busy_counter i =
+  Obs.counter ~help:"busy time per pool domain (µs)"
+    ~labels:[ ("domain", string_of_int i) ]
+    "par.busy_us"
+
+let note_parallel_step kind parts =
+  Obs.inc (match kind with `Range -> m_steps_range | `Ctx -> m_steps_ctx);
+  Obs.add m_partitions parts
+
+let time_merge f = Obs.time m_merge f
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  q : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  n_domains : int;
+  range_cutoff : int;
+  ctx_cutoff : int;
+  busy : Obs.counter array; (* index 0 is the caller domain *)
+}
+
+let domains t = t.n_domains
+
+let range_cutoff t = t.range_cutoff
+
+let ctx_cutoff t = t.ctx_cutoff
+
+let timed t i task =
+  let t0 = Obs.now () in
+  task ();
+  Obs.add t.busy.(i) (int_of_float ((Obs.now () -. t0) *. 1e6));
+  Obs.inc m_tasks
+
+let rec worker_loop t i =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.stop do
+    Condition.wait t.nonempty t.mu
+  done;
+  if Queue.is_empty t.q then Mutex.unlock t.mu (* stop, queue drained *)
+  else begin
+    let task = Queue.pop t.q in
+    Mutex.unlock t.mu;
+    timed t i task;
+    worker_loop t i
+  end
+
+let create ?(range_cutoff = 4096) ?(ctx_cutoff = 32) ~domains () =
+  if domains < 1 then invalid_arg "Par.create: domains must be >= 1";
+  Obs.set m_pool (float_of_int domains);
+  let t =
+    { mu = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      stop = false;
+      workers = [];
+      n_domains = domains;
+      range_cutoff;
+      ctx_cutoff;
+      busy = Array.init domains busy_counter }
+  in
+  t.workers <- List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?range_cutoff ?ctx_cutoff ~domains f =
+  let t = create ?range_cutoff ?ctx_cutoff ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Pop one task if any; never blocks. *)
+let try_pop t =
+  Mutex.lock t.mu;
+  let task = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.mu;
+  task
+
+let run t fs =
+  match fs with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | fs when t.workers = [] -> List.map (fun f -> f ()) fs
+  | fs ->
+    let fs = Array.of_list fs in
+    let n = Array.length fs in
+    let results = Array.make n None in
+    (* Batch completion has its own lock: workers touching [remaining] must
+       not contend with the queue, and [Condition.wait] below needs a mutex
+       that nothing holds across task execution. *)
+    let bmu = Mutex.create () in
+    let bdone = Condition.create () in
+    let remaining = ref n in
+    let wrap i () =
+      let r = try Ok (fs.(i) ()) with e -> Error e in
+      Mutex.lock bmu;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast bdone;
+      Mutex.unlock bmu
+    in
+    Mutex.lock t.mu;
+    for i = 1 to n - 1 do
+      Queue.push (wrap i) t.q
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu;
+    timed t 0 (wrap 0);
+    (* Help drain the queue until our batch settles. The queue may hold
+       tasks of other callers sharing the pool; executing them here is
+       work-conserving and they never block (pure computation). *)
+    let rec help () =
+      Mutex.lock bmu;
+      let settled = !remaining = 0 in
+      Mutex.unlock bmu;
+      if not settled then
+        match try_pop t with
+        | Some task ->
+          timed t 0 task;
+          help ()
+        | None ->
+          Mutex.lock bmu;
+          while !remaining > 0 do
+            Condition.wait bdone bmu
+          done;
+          Mutex.unlock bmu
+    in
+    help ();
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)

@@ -1,0 +1,61 @@
+(** A fixed pool of worker domains for parallel query evaluation.
+
+    The pool owns [domains - 1] worker domains; the calling domain is the
+    remaining member, so [create ~domains:1] spawns nothing and {!run}
+    degenerates to [List.map] with no queue traffic at all — the 1-domain
+    parallel mode is the sequential path.
+
+    {!run} executes a batch of independent thunks and returns their results
+    in submission order. The caller runs the first thunk itself, then helps
+    drain the shared queue while waiting, so a pool is never idle while its
+    owner spins. Thunks must not call {!run} on the same pool (the engine
+    never parallelises nested predicate paths, see {!Engine}); they may run
+    on any domain and therefore must only perform domain-safe reads —
+    snapshot views ({!View.snapshot}) qualify because version descriptors
+    are immutable after capture.
+
+    Worker exceptions are caught, carried back, and re-raised in the caller
+    after the whole batch has settled, so the pool survives failing batches.
+
+    Instruments ([par.*]): per-domain busy time ([par.busy_us], label
+    [domain]), task and partition counts, and merge latency (observed by the
+    engine through {!time_merge}). *)
+
+type t
+
+val create : ?range_cutoff:int -> ?ctx_cutoff:int -> domains:int -> unit -> t
+(** Spawn a pool of [domains - 1] workers ([domains >= 1], else
+    [Invalid_argument]). [range_cutoff] (default 4096) is the minimum
+    document-order span, in view slots, below which a descendant scan is not
+    worth partitioning; [ctx_cutoff] (default 32) the minimum context-list
+    length for partitioning a generic axis step. Tests force both to 1 to
+    exercise the parallel machinery on small documents. *)
+
+val domains : t -> int
+(** Pool width including the caller (the [~domains] given to {!create}). *)
+
+val range_cutoff : t -> int
+
+val ctx_cutoff : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute the thunks (possibly in parallel) and return their results in
+    order. Re-raises the first thunk exception after the batch settles.
+    Must not be called from inside one of its own thunks. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent; {!run} after shutdown runs
+    inline on the caller. *)
+
+val with_pool :
+  ?range_cutoff:int -> ?ctx_cutoff:int -> domains:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] (also on exception). *)
+
+(** {1 Instruments} (recorded here so every pool feeds one registry) *)
+
+val note_parallel_step : [ `Range | `Ctx ] -> int -> unit
+(** Record one parallelised axis step of the given kind and its partition
+    count. *)
+
+val time_merge : (unit -> 'a) -> 'a
+(** Time a partial-result merge into [par.merge_s]. *)

@@ -96,6 +96,20 @@ module Make (S : Storage_intf.S) = struct
       ctxs;
     List.rev !acc
 
+  (* The same pruning [descendants] applies inline, exposed for callers that
+     partition the scan: on the surviving contexts the subtree regions
+     [ (ctx, subtree_end ctx) ] are pairwise disjoint and sorted. *)
+  let prune_covered t ctxs =
+    let scanned_to = ref (-1) in
+    List.filter
+      (fun ctx ->
+        if ctx >= !scanned_to then begin
+          scanned_to := subtree_end t ctx;
+          true
+        end
+        else false)
+      (sort_uniq ctxs)
+
   let parent t ctxs = sort_uniq (List.filter_map (parent_of t) ctxs)
 
   let ancestors t ?(or_self = false) ctxs =

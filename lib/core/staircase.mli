@@ -37,6 +37,13 @@ module Make (S : Storage_intf.S) : sig
   (** Staircase-pruned: a context covered by a previous context's subtree is
       skipped, so no tuple is scanned twice. *)
 
+  val prune_covered : S.t -> int list -> int list
+  (** The pruning step of {!descendants} on its own: drop every context
+      covered by an earlier context's subtree. On the result the subtree
+      regions are pairwise disjoint and in document order — the property the
+      parallel engine relies on to partition a descendant scan into ranges
+      that never rescan each other's tuples. *)
+
   val parent : S.t -> int list -> int list
 
   val ancestors : S.t -> ?or_self:bool -> int list -> int list

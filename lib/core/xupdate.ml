@@ -238,32 +238,53 @@ let apply_command v cmd =
       items;
     List.length items
   | Update (path, text) ->
-    let items = E.eval_items v path in
+    (* Targets must be pinned by node id (target_nodes), not by their pre
+       values: clearing an earlier element target deletes its descendants,
+       and a raw pre captured for a later target then points at a stale (or
+       unused) slot. A vanished target is an error, like everywhere else.
+
+       Pinning alone is not enough on a direct view: the allocator recycles
+       freed node ids immediately, so the replacement-text insert can be
+       handed the id of a deleted later target — reborn as an unrelated
+       node, it would resolve again. Track the ids this command frees and
+       refuse them explicitly (staged views get this for free by deferring
+       frees to commit). *)
+    let targets = target_nodes v path in
+    let freed = Hashtbl.create 8 in
+    let resolve node =
+      if Hashtbl.mem freed node then afail "update: target vanished mid-command";
+      pre_of_node_exn v node "update"
+    in
+    let note_freed pre =
+      let id_at p = View.read_cell v Cnode (View.pos_of_pre v p) in
+      Hashtbl.replace freed (id_at pre) ();
+      Sj.iter_descendants v pre (fun d -> Hashtbl.replace freed (id_at d) ())
+    in
     List.iter
       (function
-        | E.Attribute { owner; qn; _ } ->
-          let node = View.read_cell v Cnode (View.pos_of_pre v owner) in
-          let pre = pre_of_node_exn v node "update" in
+        | `Attr (node, qn) ->
+          let pre = resolve node in
           Update.set_attribute v ~pre qn text
-        | E.Node pre -> (
+        | `Tree node -> (
+          let pre = resolve node in
           match View.kind v pre with
           | Kind.Text | Kind.Comment | Kind.Pi -> Update.set_text v ~pre text
           | Kind.Element ->
             (* replace content: drop current children, insert the text *)
-            let node = View.read_cell v Cnode (View.pos_of_pre v pre) in
             let rec clear () =
-              let pre = pre_of_node_exn v node "update" in
+              let pre = resolve node in
               match Sj.children v [ pre ] with
               | [] -> ()
               | kid :: _ ->
+                note_freed kid;
                 Update.delete v ~pre:kid;
                 clear ()
             in
             clear ();
-            let pre = pre_of_node_exn v node "update" in
+            let pre = resolve node in
             if text <> "" then Update.insert v (Update.Last_child pre) [ Dom.Text text ]))
-      items;
-    List.length items
+      targets;
+    List.length targets
 
 let apply v cmds = List.fold_left (fun acc c -> acc + apply_command v c) 0 cmds
 

@@ -1,0 +1,481 @@
+(* Naive DOM oracle for differential testing of the XPath engine and the
+   XUpdate evaluator.
+
+   Deliberately shares no evaluation code with lib/core: axes are recursive
+   walks over the immutable {!Xml.Dom} tree, node identity is the
+   child-index path (lexicographic path order IS document order), and
+   updates are textbook persistent-tree edits. Everything is quadratic and
+   obviously correct; speed is irrelevant at test sizes.
+
+   Semantics mirror the engine's documented simplifications (engine.mli) and
+   the XUpdate evaluator's behaviour (xupdate.ml), including its error
+   cases, so a differential test can require: equal results on success,
+   errors on both sides otherwise. *)
+
+module Dom = Xml.Dom
+module Qname = Xml.Qname
+module Xupdate = Core.Xupdate
+open Xpath.Xpath_ast
+
+type item =
+  | Node of Dom.path
+  | Attr of { owner : Dom.path; qn : Qname.t; value : string }
+
+exception Oracle_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Oracle_error m)) fmt
+
+(* ---------------------------------------------------------- path order -- *)
+
+(* Lexicographic = document order; a node precedes its descendants. *)
+let rec compare_path a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys -> ( match compare (x : int) y with 0 -> compare_path xs ys | c -> c)
+
+let rec is_prefix a b =
+  match (a, b) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+
+let strict_prefix a b = a <> b && is_prefix a b
+
+let sort_uniq_paths ps = List.sort_uniq compare_path ps
+
+(* ---------------------------------------------------------- tree walks -- *)
+
+let paths_pre_order (doc : Dom.t) =
+  let acc = ref [] in
+  let rec go rev_path (n : Dom.node) =
+    acc := List.rev rev_path :: !acc;
+    match n with
+    | Dom.Element e -> List.iteri (fun i c -> go (i :: rev_path) c) e.children
+    | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> ()
+  in
+  go [] (Dom.Element doc.Dom.root);
+  List.rev !acc
+
+let child_paths doc p =
+  match Dom.node_at doc p with
+  | Dom.Element e -> List.mapi (fun i _ -> p @ [ i ]) e.children
+  | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> []
+
+let rec descendant_paths doc p =
+  List.concat_map (fun c -> c :: descendant_paths doc c) (child_paths doc p)
+
+(* proper ancestors, nearest first (the reverse-axis enumeration order) *)
+let ancestors_nearest p =
+  let rec go = function
+    | [] -> []
+    | l ->
+      let parent = List.filteri (fun i _ -> i < List.length l - 1) l in
+      parent :: go parent
+  in
+  go p
+
+let parent_and_index p =
+  match List.rev p with
+  | [] -> None
+  | i :: rev_parent -> Some (List.rev rev_parent, i)
+
+let siblings doc p =
+  match parent_and_index p with
+  | None -> ([], [])
+  | Some (parent, i) ->
+    let all = child_paths doc parent in
+    ( List.rev (List.filteri (fun j _ -> j < i) all) (* preceding, nearest first *),
+      List.filteri (fun j _ -> j > i) all (* following, document order *) )
+
+(* The virtual document node (parent of the root element) seeds absolute
+   paths; it never appears in results. *)
+type ctx = Doc | P of Dom.path
+
+(* Axis enumeration in axis order (reverse axes nearest-first), matching the
+   order positional predicates count in. *)
+let axis_paths doc axis ctx =
+  match ctx with
+  | Doc -> (
+    match axis with
+    | Child -> [ [] ]
+    | Descendant | Descendant_or_self -> [] :: descendant_paths doc []
+    | Self | Parent | Ancestor | Ancestor_or_self | Following | Preceding
+    | Following_sibling | Preceding_sibling ->
+      []
+    | Attribute -> fail "attribute axis on the document node")
+  | P p -> (
+    match axis with
+    | Self -> [ p ]
+    | Child -> child_paths doc p
+    | Descendant -> descendant_paths doc p
+    | Descendant_or_self -> p :: descendant_paths doc p
+    | Parent -> ( match parent_and_index p with None -> [] | Some (q, _) -> [ q ])
+    | Ancestor -> ancestors_nearest p
+    | Ancestor_or_self -> p :: ancestors_nearest p
+    | Following ->
+      List.filter
+        (fun q -> compare_path q p > 0 && not (is_prefix p q))
+        (paths_pre_order doc)
+    | Preceding ->
+      List.rev
+        (List.filter
+           (fun q -> compare_path q p < 0 && not (is_prefix q p))
+           (paths_pre_order doc))
+    | Following_sibling -> snd (siblings doc p)
+    | Preceding_sibling -> fst (siblings doc p)
+    | Attribute -> fail "attribute axis is handled per step")
+
+let matches_test doc test p =
+  match (Dom.node_at doc p, test) with
+  | _, Kind_node -> true
+  | Dom.Element _, Wildcard -> true
+  | Dom.Element e, Name q -> Qname.equal e.Dom.name q
+  | Dom.Text _, Kind_text -> true
+  | Dom.Comment _, Kind_comment -> true
+  | Dom.Pi _, Kind_pi None -> true
+  | Dom.Pi { target; _ }, Kind_pi (Some t) -> String.equal target t
+  | _ -> false
+
+(* XPath string value: descendant text concatenation for elements, content
+   otherwise. *)
+let string_value doc p =
+  let rec collect b (n : Dom.node) =
+    match n with
+    | Dom.Text s -> Buffer.add_string b s
+    | Dom.Element e -> List.iter (collect b) e.children
+    | Dom.Comment _ | Dom.Pi _ -> ()
+  in
+  match Dom.node_at doc p with
+  | Dom.Text s | Dom.Comment s -> s
+  | Dom.Pi { data; _ } -> data
+  | Dom.Element e ->
+    let b = Buffer.create 32 in
+    List.iter (collect b) e.children;
+    Buffer.contents b
+
+let item_string doc = function
+  | Node p -> string_value doc p
+  | Attr a -> a.value
+
+(* ---------------------------------------------------------- predicates -- *)
+
+type value = VStr of string | VNum of float | VNone
+
+let contains_sub ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = (i + nn <= nh && String.sub hay i nn = needle) || (i + nn <= nh && go (i + 1)) in
+  nn = 0 || go 0
+
+let to_string = function
+  | VStr s -> s
+  | VNum f -> if Float.is_integer f then string_of_int (int_of_float f) else string_of_float f
+  | VNone -> ""
+
+let compare_values va op vb =
+  let numeric =
+    match (va, vb) with
+    | VNum _, _ | _, VNum _ -> true
+    | VStr _, VStr _ | VNone, _ | _, VNone -> false
+  in
+  if numeric then
+    let num = function
+      | VNum f -> Some f
+      | VStr s -> float_of_string_opt (String.trim s)
+      | VNone -> None
+    in
+    match (num va, num vb) with
+    | Some x, Some y -> (
+      match op with
+      | Eq -> x = y
+      | Neq -> x <> y
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y)
+    | None, _ | _, None -> false
+  else
+    let x = to_string va and y = to_string vb in
+    match op with
+    | Eq -> String.equal x y
+    | Neq -> not (String.equal x y)
+    | Lt -> String.compare x y < 0
+    | Le -> String.compare x y <= 0
+    | Gt -> String.compare x y > 0
+    | Ge -> String.compare x y >= 0
+
+let rec eval_steps doc ctxs steps =
+  match steps with
+  | [] ->
+    List.map
+      (function P p -> Node p | Doc -> fail "document node in results")
+      ctxs
+  | [ { axis = Attribute; test; preds } ] ->
+    let attrs_of ctx =
+      match ctx with
+      | Doc -> []
+      | P p -> (
+        match Dom.node_at doc p with
+        | Dom.Element e ->
+          List.filter_map
+            (fun (qn, value) ->
+              let keep =
+                match test with
+                | Name q -> Qname.equal q qn
+                | Wildcard | Kind_node -> true
+                | Kind_text | Kind_comment | Kind_pi _ -> false
+              in
+              if keep then Some (Attr { owner = p; qn; value }) else None)
+            e.Dom.attrs
+        | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> [])
+    in
+    let attrs = List.concat_map attrs_of ctxs in
+    List.fold_left (apply_pred_items doc) attrs preds
+  | { axis = Attribute; _ } :: _ :: _ -> fail "attribute axis must be the final step"
+  | { axis; test; preds } :: rest ->
+    let step_one ctx =
+      let candidates = List.filter (matches_test doc test) (axis_paths doc axis ctx) in
+      let items = List.map (fun p -> Node p) candidates in
+      let survivors = List.fold_left (apply_pred_items doc) items preds in
+      List.filter_map (function Node p -> Some p | Attr _ -> None) survivors
+    in
+    let out = sort_uniq_paths (List.concat_map step_one ctxs) in
+    eval_steps doc (List.map (fun p -> P p) out) rest
+
+and apply_pred_items doc items pred =
+  match pred with
+  | Pos n -> ( match List.nth_opt items (n - 1) with Some it -> [ it ] | None -> [])
+  | Last -> ( match List.rev items with it :: _ -> [ it ] | [] -> [])
+  | _ -> List.filter (fun it -> eval_pred doc it pred) items
+
+and eval_pred doc it pred =
+  match pred with
+  | Pos _ | Last -> assert false (* positional, handled above *)
+  | And (a, b) -> eval_pred doc it a && eval_pred doc it b
+  | Or (a, b) -> eval_pred doc it a || eval_pred doc it b
+  | Not p -> not (eval_pred doc it p)
+  | Exists p -> eval_rel doc it p <> []
+  | Contains (a, b) -> (
+    match (eval_value doc it a, eval_value doc it b) with
+    | (VStr _ | VNum _), VNone | VNone, _ -> false
+    | va, vb -> contains_sub ~needle:(to_string vb) (to_string va))
+  | Cmp (a, op, b) -> (
+    match (eval_value doc it a, eval_value doc it b) with
+    | VNone, _ | _, VNone -> false
+    | va, vb -> compare_values va op vb)
+
+and eval_value doc it = function
+  | Lit_str s -> VStr s
+  | Lit_num f -> VNum f
+  | Ctx_string -> VStr (item_string doc it)
+  | Path_string p -> (
+    match eval_rel doc it p with
+    | [] -> VNone
+    | first :: _ -> VStr (item_string doc first))
+  | Count p -> VNum (float_of_int (List.length (eval_rel doc it p)))
+
+and eval_rel doc it p =
+  if p.absolute then eval_steps doc [ Doc ] p.steps
+  else
+    match it with
+    | Node ctx -> eval_steps doc [ P ctx ] p.steps
+    | Attr _ -> []
+
+let eval doc ?context (p : path) =
+  if p.absolute then
+    if p.steps = [] then [ Node [] ] else eval_steps doc [ Doc ] p.steps
+  else
+    let ctxs =
+      match context with Some c -> List.map (fun p -> P p) c | None -> [ P [] ]
+    in
+    eval_steps doc ctxs p.steps
+
+(* ------------------------------------------------------------- updates -- *)
+
+(* The engine's XUpdate evaluator pins targets by immutable node id, so
+   earlier edits of the same command never invalidate later targets' pres.
+   On paths the equivalent is to apply structural edits in REVERSE document
+   order: an edit at path p only perturbs the paths of nodes at or after p
+   in document order, and those have already been processed. *)
+
+let require_element doc p what =
+  match Dom.node_at doc p with
+  | Dom.Element e -> e
+  | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> fail "%s: target is not an element" what
+
+let map_element doc p what f =
+  ignore (require_element doc p what);
+  match Dom.node_at doc p with
+  | Dom.Element e -> Dom.replace_at doc p (Dom.Element (f e))
+  | _ -> assert false
+
+(* Mirrors Update.set_attribute, which is attr_remove_named + attr_add: the
+   attribute always moves to the end of the element's attribute list, even
+   when it already existed. *)
+let set_attribute doc p qn value what =
+  map_element doc p what (fun e ->
+      { e with
+        Dom.attrs =
+          List.filter (fun (q, _) -> not (Qname.equal q qn)) e.Dom.attrs
+          @ [ (qn, value) ]
+      })
+
+let remove_attribute doc p qn =
+  match Dom.node_at doc p with
+  | Dom.Element e when List.exists (fun (q, _) -> Qname.equal q qn) e.Dom.attrs ->
+    ( map_element doc p "remove-attribute" (fun e ->
+          { e with
+            Dom.attrs = List.filter (fun (q, _) -> not (Qname.equal q qn)) e.Dom.attrs
+          }),
+      true )
+  | _ -> (doc, false)
+
+let node_targets what items =
+  List.map
+    (function Node p -> p | Attr _ -> fail "xupdate:%s: select yields attributes" what)
+    items
+
+let split_content what content =
+  let attrs =
+    List.filter_map (function Xupdate.Attr (q, s) -> Some (q, s) | Xupdate.Node _ -> None) content
+  in
+  let nodes =
+    List.filter_map (function Xupdate.Node n -> Some n | Xupdate.Attr _ -> None) content
+  in
+  (match what with
+  | `Sibling when attrs <> [] ->
+    fail "insert-before/after content cannot contain xupdate:attribute"
+  | `Sibling | `Child -> ());
+  (attrs, nodes)
+
+let sibling_insert ~after what doc path content =
+  let _, nodes = split_content `Sibling content in
+  let targets = node_targets what (eval doc path) in
+  let doc =
+    (* Update.insert is a no-op on an empty forest — even an invalid point
+       (the root) is then never validated *)
+    if nodes = [] then doc
+    else
+      List.fold_left
+        (fun doc p ->
+          match parent_and_index p with
+          | None -> fail "xupdate:%s: target is the root" what
+          | Some (parent, i) ->
+            Dom.insert_children doc parent ~at:(if after then i + 1 else i) nodes)
+        doc (List.rev targets)
+  in
+  (doc, List.length targets)
+
+let apply_command doc (cmd : Xupdate.command) =
+  match cmd with
+  | Xupdate.Remove path -> (
+    let items = eval doc path in
+    match items with
+    | Attr _ :: _ ->
+      List.fold_left
+        (fun (doc, n) item ->
+          match item with
+          | Attr { owner; qn; _ } ->
+            let doc, removed = remove_attribute doc owner qn in
+            (doc, if removed then n + 1 else n)
+          | Node _ -> fail "xupdate:remove: mixed node/attribute selection")
+        (doc, 0) items
+    | _ ->
+      let targets = node_targets "remove" items in
+      (* prefix-prune: a target inside an earlier target's subtree is
+         already gone when the engine reaches it and is skipped silently *)
+      let pruned =
+        List.fold_left
+          (fun kept p ->
+            if List.exists (fun q -> is_prefix q p) kept then kept else p :: kept)
+          [] targets
+        |> List.rev
+      in
+      if List.exists (fun p -> p = []) pruned then
+        fail "xupdate:remove: cannot remove the root";
+      let doc = List.fold_left Dom.remove_at doc (List.rev pruned) in
+      (doc, List.length pruned))
+  | Xupdate.Insert_before (path, content) ->
+    sibling_insert ~after:false "insert-before" doc path content
+  | Xupdate.Insert_after (path, content) ->
+    sibling_insert ~after:true "insert-after" doc path content
+  | Xupdate.Append (path, child, content) ->
+    let attrs, nodes = split_content `Child content in
+    let targets = node_targets "append" (eval doc path) in
+    let doc =
+      List.fold_left
+        (fun doc p ->
+          (* attributes first, mirroring the engine's evaluation order *)
+          let doc =
+            List.fold_left (fun doc (q, s) -> set_attribute doc p q s "xupdate:append") doc attrs
+          in
+          if nodes = [] then doc
+          else
+            let e = require_element doc p "xupdate:append" in
+            let nkids = List.length e.Dom.children in
+            let at =
+              match child with
+              | None -> nkids
+              | Some k ->
+                if k < 1 || k > nkids + 1 then
+                  fail "xupdate:append: child position %d out of range" k
+                else k - 1
+            in
+            Dom.insert_children doc p ~at nodes)
+        doc (List.rev targets)
+    in
+    (doc, List.length targets)
+  | Xupdate.Rename (path, q) ->
+    let items = eval doc path in
+    let doc =
+      List.fold_left
+        (fun doc item ->
+          match item with
+          | Node p ->
+            map_element doc p "xupdate:rename" (fun e -> { e with Dom.name = q })
+          | Attr { owner; qn; value } ->
+            let doc, _ = remove_attribute doc owner qn in
+            set_attribute doc owner q value "xupdate:rename")
+        doc items
+    in
+    (doc, List.length items)
+  | Xupdate.Update (path, text) ->
+    let items = eval doc path in
+    (* The engine processes targets in document order and re-resolves each
+       by node id: a target inside an element whose content an EARLIER
+       target's update replaced has vanished — that is an error, not a
+       skip. Track the cleared elements to mirror it; their own paths stay
+       valid (content replacement never moves the element). *)
+    let cleared = ref [] in
+    let doc =
+      List.fold_left
+        (fun doc item ->
+          match item with
+          | Attr { owner; qn; _ } ->
+            if List.exists (fun c -> strict_prefix c owner) !cleared then
+              fail "xupdate:update: target vanished mid-command";
+            set_attribute doc owner qn text "xupdate:update"
+          | Node p -> (
+            if List.exists (fun c -> strict_prefix c p) !cleared then
+              fail "xupdate:update: target vanished mid-command";
+            match Dom.node_at doc p with
+            | Dom.Text _ -> Dom.replace_at doc p (Dom.Text text)
+            | Dom.Comment _ -> Dom.replace_at doc p (Dom.Comment text)
+            | Dom.Pi { target; _ } -> Dom.replace_at doc p (Dom.Pi { target; data = text })
+            | Dom.Element _ ->
+              cleared := p :: !cleared;
+              map_element doc p "xupdate:update" (fun e ->
+                  { e with
+                    Dom.children = (if text = "" then [] else [ Dom.Text text ])
+                  })))
+        doc items
+    in
+    (doc, List.length items)
+
+let apply doc cmds =
+  List.fold_left
+    (fun (doc, n) cmd ->
+      let doc, k = apply_command doc cmd in
+      (doc, n + k))
+    (doc, 0) cmds

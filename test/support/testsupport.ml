@@ -399,3 +399,7 @@ let qcheck_case test =
   incr qcheck_count;
   let rand = Random.State.make [| Lazy.force qcheck_seed; !qcheck_count |] in
   QCheck_alcotest.to_alcotest ~rand test
+
+(* The library name doubles as the module name, which hides sibling modules
+   in this directory; re-export them explicitly. *)
+module Oracle = Oracle
