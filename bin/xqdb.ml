@@ -1,7 +1,7 @@
 (* xqdb — command-line front end to the updatable pre/post-plane XML store.
 
-   Subcommands: query, xquery, update, stats, xmark, metrics, checkpoint,
-   recover, concurrent.
+   Subcommands: query, explain, profile, xquery, update, stats, xmark,
+   metrics, checkpoint, recover, concurrent, torture.
 
    Built on the result API (Db.query_r / Db.update_r / Db.open_recovered_r
    and Db.Session): every expected failure arrives as a Db.Error.t, so error
@@ -96,7 +96,15 @@ let query_cmd =
   let count_only =
     Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print only the result count.")
   in
-  let run path xpath count_only page_bits fill domains metrics =
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Also collect a per-step profile and print the plan tree (with \
+             timings) to stderr after the results.")
+  in
+  let run path xpath count_only profile page_bits fill domains metrics =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
         let code =
@@ -105,9 +113,19 @@ let query_cmd =
           match
             with_domains domains @@ fun par ->
             Core.Db.read_txn ?par db (fun s ->
-                match Core.Db.Session.query_r s xpath with
+                let res =
+                  if profile then
+                    Result.map
+                      (fun (items, p) -> (items, Some p))
+                      (Core.Db.Session.query_profiled_r s xpath)
+                  else
+                    Result.map
+                      (fun items -> (items, None))
+                      (Core.Db.Session.query_r s xpath)
+                in
+                match res with
                 | Error _ as e -> e
-                | Ok items ->
+                | Ok (items, prof) ->
                   if count_only then Printf.printf "%d\n" (List.length items)
                   else begin
                     let module Ser = Core.Node_serialize.Make (Core.View) in
@@ -121,6 +139,9 @@ let query_cmd =
                           Printf.printf "%s=\"%s\"\n" (Xml.Qname.to_string qn) value)
                       items
                   end;
+                  Option.iter
+                    (fun p -> prerr_string (Core.Profile.render_explain p))
+                    prof;
                   Ok ())
           with
           | Ok () -> 0
@@ -132,8 +153,76 @@ let query_cmd =
   let info = Cmd.info "query" ~doc:"Evaluate an XPath expression over a document." in
   Cmd.v info
     Term.(
-      const run $ doc_arg $ xpath $ count_only $ page_bits $ fill $ domains_arg
-      $ metrics_flag)
+      const run $ doc_arg $ xpath $ count_only $ profile_flag $ page_bits $ fill
+      $ domains_arg $ metrics_flag)
+
+(* -------------------------------------------------------- explain/profile *)
+
+let xpath_pos1 = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH")
+
+let explain_cmd =
+  let run path xpath page_bits fill domains =
+    protect_parse (fun () ->
+        let db = load ~page_bits ~fill path in
+        match
+          with_domains domains @@ fun par -> Core.Db.query_profiled_r ?par db xpath
+        with
+        | Ok (_, p) ->
+          print_string (Core.Profile.render_explain ~timings:false p);
+          0
+        | Error e -> report_error e)
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:
+        "Show the evaluation plan of an XPath: per step the chosen plan \
+         ($(b,seq)/$(b,range)/$(b,ctx)), partition count, context size, slots \
+         scanned and items produced. Timings are omitted, so the output is \
+         deterministic for a fixed document."
+  in
+  Cmd.v info Term.(const run $ doc_arg $ xpath_pos1 $ page_bits $ fill $ domains_arg)
+
+let profile_cmd =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the profile as one JSON object instead of a tree.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the query's span trace as Chrome trace_event JSON \
+             (open in chrome://tracing or Perfetto).")
+  in
+  let run path xpath page_bits fill domains json trace_out =
+    protect_parse (fun () ->
+        let db = load ~page_bits ~fill path in
+        match
+          with_domains domains @@ fun par -> Core.Db.query_profiled_r ?par db xpath
+        with
+        | Error e -> report_error e
+        | Ok (_, p) ->
+          if json then print_endline (Core.Profile.render_json p)
+          else print_string (Core.Profile.render_explain p);
+          (match trace_out with
+          | None -> ()
+          | Some f ->
+            write_file f (Core.Profile.render_chrome p);
+            Printf.eprintf "wrote Chrome trace to %s\n" f);
+          0)
+  in
+  let info =
+    Cmd.info "profile"
+      ~doc:
+        "Evaluate an XPath and print its profile: the plan tree with per-step \
+         timings and cardinalities, optionally as JSON or a Chrome trace."
+  in
+  Cmd.v info
+    Term.(
+      const run $ doc_arg $ xpath_pos1 $ page_bits $ fill $ domains_arg
+      $ json_flag $ trace_out)
 
 (* ----------------------------------------------------------------- xquery *)
 
@@ -411,6 +500,15 @@ let concurrent_cmd =
              parallel evaluation is stressed against concurrent commits and \
              other parallel readers.")
   in
+  let slow_log =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slow-log" ] ~docv:"MS"
+          ~doc:
+            "Arm the slow-query log: record a full profile for every query \
+             slower than $(docv) milliseconds and print the slowest after the \
+             run.")
+  in
   let stress db ~par ~readers ~writers ~duration ~query ~think =
     let stop = Atomic.make false in
     let reads = Atomic.make 0
@@ -466,10 +564,13 @@ let concurrent_cmd =
       Atomic.get aborts,
       Atomic.get read_errors )
   in
-  let run path readers writers duration query think par_domains page_bits fill
-      metrics =
+  let run path readers writers duration query think par_domains slow_log
+      page_bits fill metrics =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
+        Option.iter
+          (fun ms -> Core.Profile.Slowlog.configure ~threshold_s:(ms /. 1000.) ())
+          slow_log;
         with_domains par_domains @@ fun par ->
         let base_commit_rate, _, base_aborts, _ =
           stress db ~par:None ~readers:0 ~writers ~duration ~query ~think
@@ -485,6 +586,20 @@ let concurrent_cmd =
         let ratio = if commit_rate > 0.0 then base_commit_rate /. commit_rate else infinity in
         Printf.printf "commit slowdown with readers: %.2fx\n" ratio;
         Printf.printf "read-path errors: %d\n" read_errors;
+        (match slow_log with
+        | None -> ()
+        | Some ms -> (
+          match Core.Profile.Slowlog.entries () with
+          | [] -> Printf.printf "slow-query log (>= %.1fms): empty\n" ms
+          | es ->
+            Printf.printf "slow-query log (>= %.1fms), slowest first:\n" ms;
+            List.iter
+              (fun p ->
+                Printf.printf "  %9.3fms  %s  (%d items, %d domains, %d steps)\n"
+                  (1000. *. p.Core.Profile.total_s)
+                  p.Core.Profile.query p.Core.Profile.items p.Core.Profile.domains
+                  (List.length p.Core.Profile.steps))
+              es));
         (match Core.Schema_up.check_integrity (Core.Db.store db) with
         | Ok () -> print_endline "integrity: OK"
         | Error m -> Printf.printf "integrity FAILED: %s\n" m);
@@ -501,7 +616,7 @@ let concurrent_cmd =
   Cmd.v info
     Term.(
       const run $ doc_arg $ readers $ writers $ duration $ query $ think
-      $ par_domains $ page_bits $ fill $ metrics_flag)
+      $ par_domains $ slow_log $ page_bits $ fill $ metrics_flag)
 
 (* ---------------------------------------------------------------- torture *)
 
@@ -964,6 +1079,7 @@ let () =
       ~doc:"Updatable pre/post-plane XML store (MonetDB/XQuery, SIGMOD 2005)"
   in
   exit (Cmd.eval' (Cmd.group info
-                     [ query_cmd; xquery_cmd; update_cmd; stats_cmd; xmark_cmd;
-                       metrics_cmd; checkpoint_cmd; recover_cmd; concurrent_cmd;
+                     [ query_cmd; explain_cmd; profile_cmd; xquery_cmd;
+                       update_cmd; stats_cmd; xmark_cmd; metrics_cmd;
+                       checkpoint_cmd; recover_cmd; concurrent_cmd;
                        torture_cmd ]))

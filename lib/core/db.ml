@@ -118,10 +118,61 @@ let close t = Option.iter Wal.close t.wal_handle
 
 let read t f = Txn.read t.mgr f
 
+(* Shared profiled-query core: parse + evaluate inside a "db.query" span,
+   collect per-step records from the engine, and fold everything into a
+   [Profile.t] together with the span tree itself. The slow-query log is fed
+   unconditionally — [note] self-gates on its threshold. *)
+let profiled ~domains ~src run_eval =
+  let started_at = Obs.now () in
+  let parse_s = ref 0. and eval_s = ref 0. in
+  let prof = Profile.collector () in
+  let items, span =
+    Obs.Span.timed "db.query" (fun () ->
+        let t0 = Obs.monotonic () in
+        let path =
+          Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src)
+        in
+        parse_s := Obs.monotonic () -. t0;
+        let t1 = Obs.monotonic () in
+        let items =
+          Obs.Span.with_ "engine.eval" (fun () -> run_eval ~prof path)
+        in
+        eval_s := Obs.monotonic () -. t1;
+        items)
+  in
+  let p =
+    { Profile.query = src;
+      started_at;
+      parse_s = !parse_s;
+      eval_s = !eval_s;
+      total_s = span.Obs.Span.dur;
+      items = List.length items;
+      domains;
+      steps = Profile.steps prof;
+      trace = Some span }
+  in
+  Profile.Slowlog.note p;
+  (items, p)
+
+let query_profiled ?par t src =
+  let domains = match par with Some p -> Par.domains p | None -> 1 in
+  profiled ~domains ~src (fun ~prof path ->
+      read t (fun v -> E.eval_items ?par ~prof v path))
+
+let query_profiled_r ?par t src = capture (fun () -> query_profiled ?par t src)
+
 let query ?par t src =
-  Obs.Span.with_ "db.query" (fun () ->
-      let path = Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src) in
-      read t (fun v -> Obs.Span.with_ "engine.eval" (fun () -> E.eval_items ?par v path)))
+  (* with the slow-query log armed, every query runs profiled so crossing
+     the threshold captures a full profile, not just a duration *)
+  match Profile.Slowlog.threshold () with
+  | Some _ -> fst (query_profiled ?par t src)
+  | None ->
+    Obs.Span.with_ "db.query" (fun () ->
+        let path =
+          Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src)
+        in
+        read t (fun v ->
+            Obs.Span.with_ "engine.eval" (fun () -> E.eval_items ?par v path)))
 
 let query_r ?par t src = capture (fun () -> query ?par t src)
 
@@ -159,7 +210,17 @@ module Session = struct
 
   let writable s = s.writable
 
-  let query s src = E.eval_items ?par:s.par s.v (Xpath.Xpath_parser.parse src)
+  let query_profiled s src =
+    let domains = match s.par with Some p -> Par.domains p | None -> 1 in
+    profiled ~domains ~src (fun ~prof path ->
+        E.eval_items ?par:s.par ~prof s.v path)
+
+  let query_profiled_r s src = capture (fun () -> query_profiled s src)
+
+  let query s src =
+    match Profile.Slowlog.threshold () with
+    | Some _ -> fst (query_profiled s src)
+    | None -> E.eval_items ?par:s.par s.v (Xpath.Xpath_parser.parse src)
 
   let query_r s src = capture (fun () -> query s src)
 

@@ -100,6 +100,13 @@ module Session : sig
 
   val query_r : t -> string -> (E.item list, Error.t) result
 
+  val query_profiled : t -> string -> E.item list * Profile.t
+  (** Like {!query}, but also collect a per-step profile (plan kind,
+      partitions, cardinalities, timings, span trace). See
+      {!Db.query_profiled}. *)
+
+  val query_profiled_r : t -> string -> (E.item list * Profile.t, Error.t) result
+
   val count : t -> string -> int
 
   val strings : t -> string -> string list
@@ -148,10 +155,23 @@ val write_txn_r : t -> (Session.t -> 'a) -> ('a, Error.t) result
 val query : ?par:Par.t -> t -> string -> E.item list
 (** Evaluate an XPath against a pinned snapshot (no lock held). With
     [?par], axis steps run domain-parallel against the snapshot (same
-    results; see {!read_txn}). Raises {!Xpath.Xpath_parser.Syntax_error} on
-    bad input; prefer {!query_r}. *)
+    results; see {!read_txn}). While the slow-query log is armed
+    ({!Profile.Slowlog.configure}), queries run profiled so a threshold
+    crossing captures a full profile. Raises
+    {!Xpath.Xpath_parser.Syntax_error} on bad input; prefer {!query_r}. *)
 
 val query_r : ?par:Par.t -> t -> string -> (E.item list, Error.t) result
+
+val query_profiled : ?par:Par.t -> t -> string -> E.item list * Profile.t
+(** Evaluate like {!query} and return a {!Profile.t} alongside the result:
+    one record per axis step (chosen plan, partitions, context size, slots
+    scanned, items produced, duration) plus the query's span trace — render
+    with {!Profile.render_explain} / [render_json] / [render_chrome]. The
+    profile is also offered to {!Profile.Slowlog}. Profiling only costs the
+    per-step accounting; use {!query} for the zero-overhead path. *)
+
+val query_profiled_r :
+  ?par:Par.t -> t -> string -> (E.item list * Profile.t, Error.t) result
 
 val query_strings : ?par:Par.t -> t -> string -> string list
 

@@ -183,16 +183,30 @@ module Make (S : Storage_intf.S) = struct
 
      Both produce exactly the sequential result: the sequential path is
      sort_uniq over the concatenation of independent per-context (or
-     per-region) evaluations, and the partitions only regroup that work. *)
-  let rec eval_steps ~par t ctxs steps =
+     per-region) evaluations, and the partitions only regroup that work.
+
+     Profiling ([~prof] is a Profile.collector) records one step record per
+     axis step — plan chosen, partitions, slots scanned, items produced —
+     and wraps the step in an attributed span. With [prof = None] the only
+     overhead is a no-op closure call per context node. *)
+  let rec eval_steps ~par ~prof t ctxs steps =
     match steps with
     | [] -> List.map (fun c -> Node c) ctxs
-    | [ { axis = Attribute; test; preds } ] ->
+    | [ ({ axis = Attribute; test; preds } as step) ] ->
       Obs.add m_ax_attribute (List.length ctxs);
+      let plan = ref Profile.Seq and partitions = ref 1 in
+      let scanned = Atomic.make 0 in
+      let note =
+        match prof with
+        | None -> fun (_ : int) -> ()
+        | Some _ -> fun n -> ignore (Atomic.fetch_and_add scanned n)
+      in
       let attrs_of ctx =
         if ctx = doc_node then []
         else if S.kind t ctx <> Kind.Element then []
-        else
+        else begin
+          let all = S.attributes t ctx in
+          note (List.length all);
           List.filter_map
             (fun (qn, value) ->
               let keep =
@@ -202,30 +216,47 @@ module Make (S : Storage_intf.S) = struct
                 | Kind_text | Kind_comment | Kind_pi _ -> false
               in
               if keep then Some (Attribute { owner = ctx; qn; value }) else None)
-            (S.attributes t ctx)
+            all
+        end
       in
-      let attrs =
-        match par with
-        | Some pool
-          when Par.domains pool > 1 && List.length ctxs >= Par.ctx_cutoff pool ->
-          let chunks = chunk_list (Par.domains pool) ctxs in
-          Par.note_parallel_step `Ctx (List.length chunks);
-          let parts =
-            Par.run pool
-              (List.map (fun chunk () -> List.concat_map attrs_of chunk) chunks)
-          in
-          (* predicates below see the same concatenation order as the
-             sequential path, so positional predicates stay correct *)
-          Par.time_merge (fun () -> List.concat parts)
-        | Some _ | None -> List.concat_map attrs_of ctxs
+      let run_step () =
+        let attrs =
+          match par with
+          | Some pool
+            when Par.domains pool > 1 && List.length ctxs >= Par.ctx_cutoff pool
+            ->
+            let chunks = chunk_list (Par.domains pool) ctxs in
+            Par.note_parallel_step `Ctx (List.length chunks);
+            plan := Profile.Ctx;
+            partitions := List.length chunks;
+            let parts =
+              Par.run pool
+                (List.map (fun chunk () -> List.concat_map attrs_of chunk) chunks)
+            in
+            (* predicates below see the same concatenation order as the
+               sequential path, so positional predicates stay correct *)
+            Par.time_merge (fun () -> List.concat parts)
+          | Some _ | None -> List.concat_map attrs_of ctxs
+        in
+        List.fold_left (fun items p -> apply_pred_items t items p) attrs preds
       in
-      List.fold_left (fun items p -> apply_pred_items t items p) attrs preds
+      profiled_step ~prof step ~ctx_in:(List.length ctxs) ~plan ~partitions
+        ~scanned ~out_card:List.length run_step
     | { axis = Attribute; _ } :: _ :: _ ->
       invalid_arg "Engine: attribute axis must be the final step"
-    | { axis; test; preds } :: rest ->
+    | ({ axis; test; preds } as step) :: rest ->
       Obs.add (counter_of_axis axis) (List.length ctxs);
+      let plan = ref Profile.Seq and partitions = ref 1 in
+      let scanned = Atomic.make 0 in
+      let note =
+        match prof with
+        | None -> fun (_ : int) -> ()
+        | Some _ -> fun n -> ignore (Atomic.fetch_and_add scanned n)
+      in
       let step_one ctx =
-        let candidates = List.filter (matches_test t test) (axis_one t axis ctx) in
+        let all = axis_one t axis ctx in
+        note (List.length all);
+        let candidates = List.filter (matches_test t test) all in
         let items = List.map (fun c -> Node c) candidates in
         let survivors =
           List.fold_left (fun items p -> apply_pred_items t items p) items preds
@@ -233,7 +264,7 @@ module Make (S : Storage_intf.S) = struct
         List.filter_map (function Node c -> Some c | Attribute _ -> None) survivors
       in
       let seq () = List.sort_uniq compare (List.concat_map step_one ctxs) in
-      let out =
+      let run_step () =
         match par with
         | None -> seq ()
         | Some pool when Par.domains pool <= 1 -> seq ()
@@ -265,6 +296,10 @@ module Make (S : Storage_intf.S) = struct
             let per = max 1 ((span + Par.domains pool - 1) / Par.domains pool) in
             let chunks = split_ranges per ranges in
             Par.note_parallel_step `Range (List.length chunks);
+            plan := Profile.Range;
+            partitions := List.length chunks;
+            (* one note for the whole scan: the inner loop stays branch-free *)
+            note span;
             let scan chunk () =
               let out = ref [] in
               List.iter
@@ -291,6 +326,8 @@ module Make (S : Storage_intf.S) = struct
           else if List.length ctxs >= Par.ctx_cutoff pool then begin
             let chunks = chunk_list (Par.domains pool) ctxs in
             Par.note_parallel_step `Ctx (List.length chunks);
+            plan := Profile.Ctx;
+            partitions := List.length chunks;
             let parts =
               Par.run pool
                 (List.map (fun chunk () -> List.concat_map step_one chunk) chunks)
@@ -299,7 +336,46 @@ module Make (S : Storage_intf.S) = struct
           end
           else seq ())
       in
-      eval_steps ~par t out rest
+      let out =
+        profiled_step ~prof step ~ctx_in:(List.length ctxs) ~plan ~partitions
+          ~scanned ~out_card:List.length run_step
+      in
+      eval_steps ~par ~prof t out rest
+
+  (* Run one axis step, recording a Profile.step and an attributed span when
+     profiling is on. [plan]/[partitions]/[scanned] are filled in by [f]. *)
+  and profiled_step :
+        'r. prof:Profile.collector option -> Xpath.Xpath_ast.step ->
+        ctx_in:int -> plan:Profile.plan ref -> partitions:int ref ->
+        scanned:int Atomic.t -> out_card:('r -> int) -> (unit -> 'r) -> 'r =
+   fun ~prof step ~ctx_in ~plan ~partitions ~scanned ~out_card f ->
+    match prof with
+    | None -> f ()
+    | Some c ->
+      let t0 = Obs.monotonic () in
+      let out =
+        Obs.Span.with_ "engine.step" (fun () ->
+            let out = f () in
+            Obs.Span.set_str "axis" (axis_name step.axis);
+            Obs.Span.set_str "test" (test_name step.test);
+            Obs.Span.set_str "plan" (Profile.plan_name !plan);
+            Obs.Span.set_int "partitions" !partitions;
+            Obs.Span.set_int "ctx" ctx_in;
+            Obs.Span.set_int "scanned" (Atomic.get scanned);
+            Obs.Span.set_int "items" (out_card out);
+            out)
+      in
+      Profile.record c
+        { Profile.axis = axis_name step.axis;
+          test = test_name step.test;
+          preds = List.length step.preds;
+          plan = !plan;
+          partitions = !partitions;
+          ctx_in;
+          scanned = Atomic.get scanned;
+          items = out_card out;
+          dur_s = Obs.monotonic () -. t0 };
+      out
 
   (* Predicates filter an ordered candidate list; positions are 1-based
      indices into the list surviving the previous predicate. *)
@@ -373,40 +449,42 @@ module Make (S : Storage_intf.S) = struct
       | first :: _ -> VStr (item_string t first))
     | Count p -> VNum (float_of_int (List.length (eval_rel t it p)))
 
-  (* Relative path from a predicate's context item. Always sequential: it
-     may run inside a pool worker, and workers must never re-submit. *)
+  (* Relative path from a predicate's context item. Always sequential and
+     never profiled: it may run inside a pool worker (workers must never
+     re-submit), and profile steps belong to the top-level path only. *)
   and eval_rel t it p =
-    if p.absolute then eval_steps ~par:None t [ doc_node ] p.steps
+    if p.absolute then eval_steps ~par:None ~prof:None t [ doc_node ] p.steps
     else
       match it with
-      | Node ctx -> eval_steps ~par:None t [ ctx ] p.steps
+      | Node ctx -> eval_steps ~par:None ~prof:None t [ ctx ] p.steps
       | Attribute _ -> [] (* no forward axes from attribute nodes *)
 
-  let eval_items t ?par ?context p =
+  let eval_items t ?par ?prof ?context p =
     let items =
       if p.absolute then
         if p.steps = [] then [ Node (S.root_pre t) ]
-        else eval_steps ~par t [ doc_node ] p.steps
+        else eval_steps ~par ~prof t [ doc_node ] p.steps
       else
         let ctxs = match context with Some c -> c | None -> [ S.root_pre t ] in
-        eval_steps ~par t ctxs p.steps
+        eval_steps ~par ~prof t ctxs p.steps
     in
     Obs.add m_items (List.length items);
     items
 
-  let eval_nodes t ?par ?context p =
+  let eval_nodes t ?par ?prof ?context p =
     List.map
       (function
         | Node pre -> pre
         | Attribute _ -> invalid_arg "Engine.eval_nodes: attribute result")
-      (eval_items t ?par ?context p)
+      (eval_items t ?par ?prof ?context p)
 
-  let eval_string t ?par ?context p =
-    match eval_items t ?par ?context p with
+  let eval_string t ?par ?prof ?context p =
+    match eval_items t ?par ?prof ?context p with
     | [] -> None
     | it :: _ -> Some (item_string t it)
 
-  let count t ?par ?context p = List.length (eval_items t ?par ?context p)
+  let count t ?par ?prof ?context p = List.length (eval_items t ?par ?prof ?context p)
 
-  let parse_eval t ?par src = eval_items t ?par (Xpath.Xpath_parser.parse src)
+  let parse_eval t ?par ?prof src =
+    eval_items t ?par ?prof (Xpath.Xpath_parser.parse src)
 end

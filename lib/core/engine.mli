@@ -32,7 +32,18 @@
 
     Steps under the pool's cutoffs, and all predicate sub-paths, run
     sequentially (the latter also means pool workers never re-enter the
-    pool). *)
+    pool).
+
+    {2 Profiling}
+
+    Every entry point also takes [?prof]. With a {!Profile.collector}, each
+    axis step of the top-level path records a {!Profile.step} — axis, node
+    test, chosen plan ([seq]/[range]/[ctx]), partition count, context-list
+    size, slots scanned, items produced, duration — and runs inside an
+    attributed ["engine.step"] span. Predicate sub-paths are not profiled
+    (their cost shows up in the enclosing step's duration). With
+    [prof = None] the only added work is a no-op closure call per context
+    node. *)
 
 module Make (S : Storage_intf.S) : sig
   type item =
@@ -46,22 +57,28 @@ module Make (S : Storage_intf.S) : sig
   val item_string : S.t -> item -> string
 
   val eval_items :
-    S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> item list
+    S.t -> ?par:Par.t -> ?prof:Profile.collector -> ?context:int list ->
+    Xpath.Xpath_ast.path -> item list
   (** Evaluate a path. Relative paths start from [context] (default: the
       root element); absolute paths always start from the virtual document
       node. Node results are in document order, duplicate-free. *)
 
   val eval_nodes :
-    S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> int list
+    S.t -> ?par:Par.t -> ?prof:Profile.collector -> ?context:int list ->
+    Xpath.Xpath_ast.path -> int list
   (** Like {!eval_items} but attribute results raise [Invalid_argument]
       (update targets must be tree nodes). *)
 
   val eval_string :
-    S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> string option
+    S.t -> ?par:Par.t -> ?prof:Profile.collector -> ?context:int list ->
+    Xpath.Xpath_ast.path -> string option
   (** String value of the first result, if any. *)
 
-  val count : S.t -> ?par:Par.t -> ?context:int list -> Xpath.Xpath_ast.path -> int
+  val count :
+    S.t -> ?par:Par.t -> ?prof:Profile.collector -> ?context:int list ->
+    Xpath.Xpath_ast.path -> int
 
-  val parse_eval : S.t -> ?par:Par.t -> string -> item list
+  val parse_eval :
+    S.t -> ?par:Par.t -> ?prof:Profile.collector -> string -> item list
   (** Parse and evaluate in one call (raises {!Xpath.Xpath_parser.Syntax_error}). *)
 end

@@ -75,11 +75,11 @@ let with_global_read t f =
   locked t (fun () ->
       (* writer preference keeps commits short *)
       if t.g_writer || t.g_waiting_writers > 0 then begin
-        let t0 = Obs.now () in
+        let t0 = Obs.monotonic () in
         while t.g_writer || t.g_waiting_writers > 0 do
           Condition.wait t.cond t.mu
         done;
-        Obs.observe m_wait (Obs.now () -. t0)
+        Obs.observe m_wait (Obs.monotonic () -. t0)
       end;
       Obs.inc m_global_read;
       t.g_readers <- t.g_readers + 1);
@@ -92,11 +92,11 @@ let with_global_write t f =
   locked t (fun () ->
       t.g_waiting_writers <- t.g_waiting_writers + 1;
       if t.g_writer || t.g_readers > 0 then begin
-        let t0 = Obs.now () in
+        let t0 = Obs.monotonic () in
         while t.g_writer || t.g_readers > 0 do
           Condition.wait t.cond t.mu
         done;
-        Obs.observe m_wait (Obs.now () -. t0)
+        Obs.observe m_wait (Obs.monotonic () -. t0)
       end;
       t.g_waiting_writers <- t.g_waiting_writers - 1;
       Obs.inc m_global_write;

@@ -52,9 +52,9 @@ let range_cutoff t = t.range_cutoff
 let ctx_cutoff t = t.ctx_cutoff
 
 let timed t i task =
-  let t0 = Obs.now () in
+  let t0 = Obs.monotonic () in
   task ();
-  Obs.add t.busy.(i) (int_of_float ((Obs.now () -. t0) *. 1e6));
+  Obs.add t.busy.(i) (int_of_float ((Obs.monotonic () -. t0) *. 1e6));
   Obs.inc m_tasks
 
 let rec worker_loop t i =
@@ -121,8 +121,21 @@ let run t fs =
     let bmu = Mutex.create () in
     let bdone = Condition.create () in
     let remaining = ref n in
+    (* Capture the submitter's span context: workers run on other domains
+       with empty span stacks of their own, so without re-attaching here the
+       parallel work would be invisible in traces (or worse, each task would
+       become a stray root trace). *)
+    let parent = Obs.Span.context () in
     let wrap i () =
-      let r = try Ok (fs.(i) ()) with e -> Error e in
+      let r =
+        try
+          Ok
+            (Obs.Span.with_context parent "par.task" (fun () ->
+                 Obs.Span.set_int "task" i;
+                 Obs.Span.set_int "domain" (Domain.self () :> int);
+                 fs.(i) ()))
+        with e -> Error e
+      in
       Mutex.lock bmu;
       results.(i) <- Some r;
       decr remaining;

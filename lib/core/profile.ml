@@ -1,0 +1,214 @@
+(* Per-query profiles: one step record per axis step with the plan the engine
+   chose and the cardinalities it saw, plus renderers (EXPLAIN tree, JSON,
+   Chrome trace_event) and a process-wide slow-query log. *)
+
+type plan = Seq | Range | Ctx
+
+let plan_name = function Seq -> "seq" | Range -> "range" | Ctx -> "ctx"
+
+type step = {
+  axis : string;
+  test : string;
+  preds : int;
+  plan : plan;
+  partitions : int;
+  ctx_in : int;
+  scanned : int;
+  items : int;
+  dur_s : float;
+}
+
+type t = {
+  query : string;
+  started_at : float;
+  parse_s : float;
+  eval_s : float;
+  total_s : float;
+  items : int;
+  domains : int;
+  steps : step list;
+  trace : Obs.Span.t option;
+}
+
+(* Mutable accumulator threaded through one evaluation. Steps are recorded
+   only by the coordinating thread (the engine records after the parallel
+   partitions have joined), so no locking is needed. *)
+type collector = { mutable rev : step list }
+
+let collector () = { rev = [] }
+
+let record c s = c.rev <- s :: c.rev
+
+let steps c = List.rev c.rev
+
+(* --- EXPLAIN tree ------------------------------------------------------- *)
+
+let step_label s =
+  let test = if s.test = "" then "node()" else s.test in
+  Printf.sprintf "%s::%s%s" s.axis test
+    (if s.preds > 0 then Printf.sprintf "[%d pred]" s.preds else "")
+
+let render_explain ?(timings = true) p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "query: %s\n" p.query);
+  Buffer.add_string b (Printf.sprintf "domains: %d\n" p.domains);
+  if timings then
+    Buffer.add_string b
+      (Printf.sprintf "parse: %.3fms  eval: %.3fms  total: %.3fms\n"
+         (1000. *. p.parse_s) (1000. *. p.eval_s) (1000. *. p.total_s));
+  List.iteri
+    (fun i s ->
+      let indent = String.make (2 * (i + 1)) ' ' in
+      Buffer.add_string b
+        (Printf.sprintf "%s%-30s plan=%-5s partitions=%-3d ctx=%-6d scanned=%-8d items=%d%s\n"
+           indent (step_label s) (plan_name s.plan) s.partitions s.ctx_in s.scanned
+           s.items
+           (if timings then Printf.sprintf "  (%.3fms)" (1000. *. s.dur_s) else "")))
+    p.steps;
+  Buffer.add_string b (Printf.sprintf "result: %d item%s\n" p.items
+     (if p.items = 1 then "" else "s"));
+  Buffer.contents b
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let esc = Obs.json_escape
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let step_json s =
+  Printf.sprintf
+    {|{"axis":"%s","test":"%s","preds":%d,"plan":"%s","partitions":%d,"ctx":%d,"scanned":%d,"items":%d,"dur_s":%s}|}
+    (esc s.axis) (esc s.test) s.preds (plan_name s.plan) s.partitions s.ctx_in
+    s.scanned s.items (json_float s.dur_s)
+
+let render_json p =
+  Printf.sprintf
+    {|{"query":"%s","started_at":%s,"parse_s":%s,"eval_s":%s,"total_s":%s,"items":%d,"domains":%d,"steps":[%s]}|}
+    (esc p.query) (json_float p.started_at) (json_float p.parse_s)
+    (json_float p.eval_s) (json_float p.total_s) p.items p.domains
+    (String.concat "," (List.map step_json p.steps))
+
+(* --- Chrome trace_event ------------------------------------------------- *)
+
+(* Emit the span tree as "X" (complete) events. Chrome lays events out by
+   (pid, tid) lane and expects events in one lane to nest or be disjoint;
+   parallel siblings overlap in time, so each span takes the first lane that
+   is free at its start (greedy), opening a fresh lane when none is. *)
+let render_chrome p =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  Buffer.add_string b
+    {|{"ph":"M","pid":1,"name":"process_name","args":{"name":"xqdb query"}}|};
+  (match p.trace with
+  | None -> ()
+  | Some root ->
+    let base = root.Obs.Span.start in
+    let lanes : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let next_lane = ref 0 in
+    let alloc_lane ~hint start =
+      let fits tid =
+        match Hashtbl.find_opt lanes tid with
+        | None -> true
+        | Some busy_until -> busy_until <= start +. 1e-9
+      in
+      let tid =
+        if fits hint then hint
+        else begin
+          let found = ref None in
+          for t = 0 to !next_lane - 1 do
+            if !found = None && fits t then found := Some t
+          done;
+          match !found with
+          | Some t -> t
+          | None ->
+            let t = !next_lane in
+            incr next_lane;
+            t
+        end
+      in
+      if tid >= !next_lane then next_lane := tid + 1;
+      tid
+    in
+    let attr_json (k, a) =
+      match a with
+      | Obs.Span.Int v -> Printf.sprintf {|"%s":%d|} (esc k) v
+      | Obs.Span.Str v -> Printf.sprintf {|"%s":"%s"|} (esc k) (esc v)
+    in
+    let rec emit ~hint (s : Obs.Span.t) =
+      let tid = alloc_lane ~hint s.start in
+      Hashtbl.replace lanes tid (s.start +. s.dur);
+      Buffer.add_string b
+        (Printf.sprintf
+           {|,{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{%s}}|}
+           (esc s.name)
+           (1e6 *. (s.start -. base))
+           (1e6 *. s.dur) tid
+           (String.concat "," (List.map attr_json s.attrs)));
+      List.iter (emit ~hint:tid) s.children
+    in
+    emit ~hint:(alloc_lane ~hint:0 root.Obs.Span.start) root);
+  Buffer.add_string b "]";
+  Buffer.contents b
+
+(* --- Slow-query log ----------------------------------------------------- *)
+
+module Slowlog = struct
+  (* The threshold is read on every query (hot path), so it lives in an
+     atomic; [infinity] means disabled. The entry list is cold (touched only
+     when a query actually crosses the threshold) and sits under a mutex. *)
+  let threshold_s = Atomic.make infinity
+
+  let mu = Mutex.create ()
+
+  let cap = ref 8
+
+  let entries_rev : t list ref = ref [] (* sorted by total_s, slowest first *)
+
+  let m_noted = Obs.counter ~help:"queries recorded in the slow-query log" "slowlog.noted"
+
+  let configure ?(capacity = 8) ~threshold_s:th () =
+    if capacity <= 0 || not (th >= 0.) then
+      invalid_arg "Profile.Slowlog.configure";
+    Mutex.lock mu;
+    cap := capacity;
+    Mutex.unlock mu;
+    Atomic.set threshold_s th
+
+  let disable () = Atomic.set threshold_s infinity
+
+  let threshold () =
+    let th = Atomic.get threshold_s in
+    if th = infinity then None else Some th
+
+  let rec insert p = function
+    | [] -> [ p ]
+    | q :: _ as l when p.total_s >= q.total_s -> p :: l
+    | q :: tl -> q :: insert p tl
+
+  let rec take n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+
+  let note p =
+    if p.total_s >= Atomic.get threshold_s then begin
+      Obs.inc m_noted;
+      Mutex.lock mu;
+      entries_rev := take !cap (insert p !entries_rev);
+      Mutex.unlock mu
+    end
+
+  let entries () =
+    Mutex.lock mu;
+    let l = !entries_rev in
+    Mutex.unlock mu;
+    l
+
+  let reset () =
+    Mutex.lock mu;
+    entries_rev := [];
+    Mutex.unlock mu
+end

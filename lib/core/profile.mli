@@ -1,0 +1,92 @@
+(** Per-query profiles: which plan each axis step took and what it cost.
+
+    The engine fills a {!collector} while evaluating (one {!step} per axis
+    step, recorded after any parallel partitions have joined); [Db] wraps it
+    into a {!t} together with the query's span trace, and the renderers turn
+    that into an EXPLAIN tree, JSON, or a Chrome [trace_event] file. *)
+
+type plan =
+  | Seq  (** sequential: per-context evaluation, sort_uniq merge *)
+  | Range  (** disjoint pre-order range scan partitions (descendant steps) *)
+  | Ctx  (** context-list chunking across pool domains *)
+
+val plan_name : plan -> string
+
+type step = {
+  axis : string;  (** XPath axis name, e.g. ["descendant-or-self"] *)
+  test : string;  (** node-test as written, e.g. ["item"] or ["node()"] *)
+  preds : int;  (** number of predicates on the step *)
+  plan : plan;
+  partitions : int;  (** parallel partitions (1 when sequential) *)
+  ctx_in : int;  (** context-list size fed into the step *)
+  scanned : int;  (** slots / candidates examined *)
+  items : int;  (** items surviving the step (its output cardinality) *)
+  dur_s : float;
+}
+
+type t = {
+  query : string;
+  started_at : float;  (** wall-clock start *)
+  parse_s : float;
+  eval_s : float;
+  total_s : float;
+  items : int;  (** final result cardinality *)
+  domains : int;  (** pool domains available (1 = sequential) *)
+  steps : step list;  (** in evaluation order *)
+  trace : Obs.Span.t option;  (** the query's own span tree *)
+}
+
+(** {1 Collection} *)
+
+type collector
+(** Mutable step accumulator for one evaluation. Not thread-safe: the engine
+    only records from the coordinating thread. *)
+
+val collector : unit -> collector
+
+val record : collector -> step -> unit
+
+val steps : collector -> step list
+(** Recorded steps in evaluation order. *)
+
+(** {1 Renderers} *)
+
+val render_explain : ?timings:bool -> t -> string
+(** Indented plan tree; [~timings:false] drops every duration for
+    deterministic (golden-file) output. *)
+
+val render_json : t -> string
+(** The whole profile as one JSON object. *)
+
+val render_chrome : t -> string
+(** Chrome [trace_event] JSON array (load in [chrome://tracing] or Perfetto).
+    Timestamps are microseconds relative to the query start; overlapping
+    parallel spans are spread across synthetic [tid] lanes. *)
+
+(** {1 Slow-query log} *)
+
+module Slowlog : sig
+  (** Process-wide ring of the N slowest queries, gated by a duration
+      threshold. Disabled (threshold [= infinity]) by default; the enabled
+      check on the query path is a single atomic load. *)
+
+  val configure : ?capacity:int -> threshold_s:float -> unit -> unit
+  (** Enable with the given threshold (seconds) and capacity (default 8).
+      Raises [Invalid_argument] on non-positive capacity or negative/NaN
+      threshold. *)
+
+  val disable : unit -> unit
+
+  val threshold : unit -> float option
+  (** [None] when disabled. *)
+
+  val note : t -> unit
+  (** Record a profile if it crosses the threshold; keeps only the [capacity]
+      slowest. Safe to call unconditionally — it self-gates. *)
+
+  val entries : unit -> t list
+  (** Current log, slowest first. *)
+
+  val reset : unit -> unit
+  (** Drop entries (threshold and capacity survive). *)
+end

@@ -473,7 +473,7 @@ let of_dom ?(page_bits = default_page_bits) ?(fill = 0.8) d =
 
 let compact ?(fill = 0.8) t =
   if fill <= 0.0 || fill > 1.0 then invalid_arg "Schema_up.compact: fill in (0,1]";
-  let vacuum_t0 = Obs.now () in
+  let vacuum_t0 = Obs.monotonic () in
   let slots_before = capacity t in
   let p = page_size t in
   let used_per_page = max 1 (min p (int_of_float (Float.round (fill *. float_of_int p)))) in
@@ -546,7 +546,7 @@ let compact ?(fill = 0.8) t =
     (List.rev !keep);
   Obs.inc m_vacuums;
   Obs.add m_vacuum_reclaimed (max 0 (slots_before - capacity t));
-  Obs.observe m_vacuum_duration (Obs.now () -. vacuum_t0);
+  Obs.observe m_vacuum_duration (Obs.monotonic () -. vacuum_t0);
   update_fill_rate t
 
 (* ------------------------------------------------------------- persistence *)

@@ -378,7 +378,7 @@ let commit ?validate t =
       | Error msg ->
         abort t;
         raise (Aborted ("validation failed: " ^ msg))));
-    let t0 = Obs.now () in
+    let t0 = Obs.monotonic () in
     match
       with_commit_mu t.m (fun () ->
           let record = build_record t st in
@@ -408,7 +408,7 @@ let commit ?validate t =
     | () ->
       t.state <- Committed;
       Obs.inc m_commits;
-      Obs.observe m_commit_latency (Obs.now () -. t0);
+      Obs.observe m_commit_latency (Obs.monotonic () -. t0);
       release t
     | exception e ->
       (* Apply-phase failures must not leave the txn half-open. *)

@@ -200,7 +200,7 @@ let stable v f = stable_aux v.seq f 0
 (* The committer already holds the manager's commit mutex; [commit_begin]
    just opens the seqlock write section. *)
 let commit_begin s =
-  let t0 = Obs.now () in
+  let t0 = Obs.monotonic () in
   Atomic.incr s.seq0;
   t0
 
@@ -213,7 +213,7 @@ let commit_end s ~epoch t0 =
   reclaim_locked s;
   Mutex.unlock s.mu;
   Atomic.incr s.seq0;
-  Obs.observe m_commit_cs (Obs.now () -. t0);
+  Obs.observe m_commit_cs (Obs.monotonic () -. t0);
   Obs.set m_live_versions (float_of_int s.nversions)
 
 (* Pre-image capture, called between [commit_begin] and [commit_end] (so

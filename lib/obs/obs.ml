@@ -1,7 +1,13 @@
 (* Process-global metrics registry + span tracer. No dependencies beyond
-   unix (time source) and threads (per-thread span stacks). *)
+   unix (wall-clock source), a tiny C stub (monotonic clock) and threads
+   (per-thread span stacks). *)
 
 let now () = Unix.gettimeofday ()
+
+(* Durations come from the monotonic clock (never steps backwards); the wall
+   clock is only used for trace start timestamps, where absolute time is the
+   point. *)
+external monotonic : unit -> float = "ocaml_obs_monotonic"
 
 (* CAS loops for the few compound float updates; contention on these is rare
    (histogram observe is dominated by the bucket add). *)
@@ -70,8 +76,8 @@ let observe h x =
   atomic_max_float h.hmax x
 
 let time h f =
-  let t0 = now () in
-  Fun.protect ~finally:(fun () -> observe h (now () -. t0)) f
+  let t0 = monotonic () in
+  Fun.protect ~finally:(fun () -> observe h (monotonic () -. t0)) f
 
 (* --------------------------------------------------------------- registry -- *)
 
@@ -268,15 +274,41 @@ let snapshot () =
 (* ------------------------------------------------------------ span tracing -- *)
 
 module Span = struct
-  type t = { name : string; start : float; dur : float; children : t list }
+  type attr = Int of int | Str of string
 
-  type frame = { fname : string; fstart : float; mutable fchildren : t list }
+  type t = {
+    name : string;
+    start : float;
+    dur : float;
+    attrs : (string * attr) list;
+    children : t list;
+  }
+
+  type frame = {
+    fname : string;
+    fstart : float; (* wall clock: absolute trace timestamps *)
+    fstart_m : float; (* monotonic: duration measurement *)
+    mutable fattrs : (string * attr) list;
+    mutable fchildren : t list;
+    mutable fdone : bool;
+  }
+
+  (* A context is a handle to an open span: capture it on one thread, finish
+     child spans against it from any other thread or domain (the cross-domain
+     propagation the Par pool uses). [None] = no span open: children become
+     root traces of their own. *)
+  type ctx = frame option
 
   (* thread id -> that thread's open-span stack; only the owning thread
      mutates its stack ref, the table itself is mutex-guarded. *)
   let stacks : (int, frame list ref) Hashtbl.t = Hashtbl.create 16
 
   let stacks_mu = Mutex.create ()
+
+  (* Guards [fchildren]/[fdone] of every frame: with span contexts, children
+     may finish on other domains while the parent is still open. Spans are
+     coarse (per query / per parallel task), so one global mutex is fine. *)
+  let attach_mu = Mutex.create ()
 
   let ring_capacity = 32
 
@@ -306,26 +338,102 @@ module Span = struct
     incr ring_next;
     Mutex.unlock ring_mu
 
+  let mk_frame name =
+    { fname = name;
+      fstart = now ();
+      fstart_m = monotonic ();
+      fattrs = [];
+      fchildren = [];
+      fdone = false }
+
+  (* Close a frame into an immutable span. Children are sorted by start:
+     parallel tasks attach in completion order, which is not display order. *)
+  let seal frame =
+    Mutex.lock attach_mu;
+    frame.fdone <- true;
+    let kids = frame.fchildren in
+    Mutex.unlock attach_mu;
+    { name = frame.fname;
+      start = frame.fstart;
+      dur = monotonic () -. frame.fstart_m;
+      attrs = List.rev frame.fattrs;
+      children =
+        List.stable_sort (fun a b -> Float.compare a.start b.start) (List.rev kids) }
+
+  (* Attach a finished span under a still-open parent; if the parent raced us
+     and already finished (a leaked context), the child becomes its own root
+     trace rather than vanishing. *)
+  let attach parent fin =
+    Mutex.lock attach_mu;
+    let attached = not parent.fdone in
+    if attached then parent.fchildren <- fin :: parent.fchildren;
+    Mutex.unlock attach_mu;
+    if not attached then push_trace fin
+
+  let note_span fin =
+    observe (histogram ~help:"span durations [s]" ("trace." ^ fin.name)) fin.dur
+
   let finish stack frame =
-    let fin =
-      { name = frame.fname;
-        start = frame.fstart;
-        dur = now () -. frame.fstart;
-        children = List.rev frame.fchildren }
-    in
+    let fin = seal frame in
     (match !stack with
     | top :: rest when top == frame -> stack := rest
     | _ -> stack := []);
     (match !stack with
-    | parent :: _ -> parent.fchildren <- fin :: parent.fchildren
+    | parent :: _ -> attach parent fin
     | [] -> push_trace fin);
-    observe (histogram ~help:"span durations [s]" ("trace." ^ fin.name)) fin.dur
+    note_span fin;
+    fin
 
   let with_ name f =
     let stack = my_stack () in
-    let frame = { fname = name; fstart = now (); fchildren = [] } in
+    let frame = mk_frame name in
     stack := frame :: !stack;
-    Fun.protect ~finally:(fun () -> finish stack frame) f
+    Fun.protect ~finally:(fun () -> ignore (finish stack frame)) f
+
+  let timed name f =
+    let stack = my_stack () in
+    let frame = mk_frame name in
+    stack := frame :: !stack;
+    match f () with
+    | v -> (v, finish stack frame)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (finish stack frame);
+      Printexc.raise_with_backtrace e bt
+
+  let set_attr k a =
+    match !(my_stack ()) with
+    | [] -> ()
+    | frame :: _ -> frame.fattrs <- (k, a) :: frame.fattrs
+
+  let set_int k v = set_attr k (Int v)
+
+  let set_str k v = set_attr k (Str v)
+
+  let context () : ctx =
+    match !(my_stack ()) with [] -> None | frame :: _ -> Some frame
+
+  let with_context (ctx : ctx) name f =
+    let stack = my_stack () in
+    let saved = !stack in
+    let frame = mk_frame name in
+    (* a fresh one-frame stack: spans opened inside [f] nest under [frame]
+       as usual, and the caller's own open spans are untouched *)
+    stack := [ frame ];
+    let close () =
+      let fin = seal frame in
+      stack := saved;
+      (match ctx with Some parent -> attach parent fin | None -> push_trace fin);
+      note_span fin
+    in
+    match f () with
+    | v ->
+      close ();
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close ();
+      Printexc.raise_with_backtrace e bt
 
   let recent () =
     Mutex.lock ring_mu;
@@ -339,12 +447,20 @@ module Span = struct
     Mutex.unlock ring_mu;
     !out
 
+  let attr_text (k, a) =
+    match a with
+    | Int v -> Printf.sprintf "%s=%d" k v
+    | Str v -> Printf.sprintf "%s=%s" k v
+
   let render t =
     let b = Buffer.create 128 in
     let rec go indent s =
       Buffer.add_string b
-        (Printf.sprintf "%s%-*s %10.3fms\n" (String.make indent ' ')
-           (max 1 (32 - indent)) s.name (1000.0 *. s.dur));
+        (Printf.sprintf "%s%-*s %10.3fms%s\n" (String.make indent ' ')
+           (max 1 (32 - indent)) s.name (1000.0 *. s.dur)
+           (match s.attrs with
+           | [] -> ""
+           | attrs -> "  " ^ String.concat " " (List.map attr_text attrs)));
       List.iter (go (indent + 2)) s.children
     in
     go 0 t;
@@ -414,12 +530,30 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* The exposition format escapes exactly backslash, double quote, and newline
+   inside label values; everything else (including UTF-8) passes through.
+   OCaml's %S escapes far more (tabs, high bytes) and would corrupt values. *)
+let prom_escape v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '"' -> Buffer.add_string b {|\"|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
 let prom_labels labels =
   match labels with
   | [] -> ""
   | ls ->
     "{"
-    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" (sanitize k) v) ls)
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (prom_escape v))
+           ls)
     ^ "}"
 
 let prom_extra_label labels k v = prom_labels (labels @ [ (k, v) ])

@@ -54,11 +54,16 @@ val histogram :
 val observe : histogram -> float -> unit
 
 val time : histogram -> (unit -> 'a) -> 'a
-(** Run the thunk and observe its wall-clock duration in seconds (also on
-    exception). *)
+(** Run the thunk and observe its duration in seconds (also on exception).
+    Measured with the monotonic clock, so wall-clock steps cannot produce
+    negative durations. *)
 
 val now : unit -> float
-(** Wall-clock seconds (the kernel's single time source). *)
+(** Wall-clock seconds (absolute timestamps, e.g. trace starts). *)
+
+val monotonic : unit -> float
+(** Monotonic seconds from an arbitrary origin; the only valid use is
+    subtracting two readings to get a duration. *)
 
 (** {1 Snapshots and rendering} *)
 
@@ -105,13 +110,20 @@ val render_json : snapshot -> string
 (** A JSON array of [{"name", "labels", "type", ...}] objects; histograms
     carry count/sum/min/max/quantiles. *)
 
+val json_escape : string -> string
+(** Escape a string for embedding inside JSON double quotes (shared by the
+    renderers here and by [Core.Profile]'s). *)
+
 (** {1 Span tracing} *)
 
 module Span : sig
+  type attr = Int of int | Str of string
+
   type t = {
     name : string;
     start : float;  (** wall-clock seconds *)
-    dur : float;
+    dur : float;  (** measured with the monotonic clock *)
+    attrs : (string * attr) list;  (** in the order they were set *)
     children : t list;  (** in start order *)
   }
 
@@ -122,9 +134,41 @@ module Span : sig
       observes its duration into the histogram [trace.<name>], so per-phase
       p50/p95/p99 fall out of the ordinary snapshot. *)
 
+  val timed : string -> (unit -> 'a) -> 'a * t
+  (** Like {!with_}, but also return the finished span itself — the
+      race-free way to get at a query's own trace (the recent-traces ring is
+      shared with every other thread). On exception the span is still
+      finished and recorded, then the exception is re-raised. *)
+
+  val set_int : string -> int -> unit
+
+  val set_str : string -> string -> unit
+  (** Attach an attribute to the innermost open span of the calling thread
+      (no-op if none is open). Call only from the thread that opened the
+      span. *)
+
+  type ctx
+  (** A handle to an open span, capturable on one thread and usable from
+      another — how traces propagate across [Par] pool domains. *)
+
+  val context : unit -> ctx
+  (** The calling thread's innermost open span (or a "no parent" handle if
+      none is open — children then become root traces of their own). *)
+
+  val with_context : ctx -> string -> (unit -> 'a) -> 'a
+  (** [with_context ctx name f] runs [f] inside a new span that is attached
+      as a child of [ctx]'s span when it finishes, even if the current thread
+      or domain differs from the one that opened it. Inside [f], further
+      {!with_} calls nest under the new span as usual. If [ctx]'s span
+      already finished, the child is recorded as its own root trace rather
+      than dropped. *)
+
   val recent : unit -> t list
   (** Most recent completed root traces, newest first (bounded ring). *)
 
+  val ring_capacity : int
+  (** Size of the recent-traces ring. *)
+
   val render : t -> string
-  (** One trace as an indented tree with durations. *)
+  (** One trace as an indented tree with durations and attributes. *)
 end

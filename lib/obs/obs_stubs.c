@@ -1,0 +1,20 @@
+/* Monotonic clock for duration measurement. Durations taken from
+   gettimeofday go negative when NTP steps the wall clock backwards;
+   CLOCK_MONOTONIC never does. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+
+CAMLprim value ocaml_obs_monotonic(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0) {
+    /* CLOCK_MONOTONIC is mandatory on every POSIX target we build for;
+       fall back to the realtime clock rather than fail. */
+    clock_gettime(CLOCK_REALTIME, &ts);
+  }
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

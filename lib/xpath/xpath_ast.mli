@@ -52,6 +52,8 @@ and value =
 
 val axis_name : axis -> string
 
+val test_name : node_test -> string
+
 val pp_path : Format.formatter -> path -> unit
 
 val to_string : path -> string

@@ -82,6 +82,45 @@ let test_update_roundtrip () =
       Alcotest.(check int) "verify exit" 0 code;
       Alcotest.(check string) "two parts" "2" (String.trim out))
 
+(* `xqdb explain` output (no timings) is deterministic for a fixed document:
+   the XMark generator is seeded, so plan choices, partition counts and
+   cardinalities must match the committed golden file exactly. *)
+let test_explain_golden () =
+  let golden_path =
+    List.find Sys.file_exists [ "golden_explain.txt"; "test/golden_explain.txt" ]
+  in
+  let ic = open_in_bin golden_path in
+  let golden =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "g.xml" in
+      let code, _ = run [ "xmark"; "-s"; "0.01"; "-o"; doc ] in
+      Alcotest.(check int) "xmark exit" 0 code;
+      let code, out = run [ "explain"; doc; "//item//keyword"; "--domains"; "2" ] in
+      Alcotest.(check int) "explain exit" 0 code;
+      Alcotest.(check string) "matches golden file" golden out)
+
+let test_profile_and_slowlog () =
+  with_dir (fun dir ->
+      let doc = Filename.concat dir "d.xml" in
+      write doc "<r><a><b/><b/></a><a><b/></a></r>";
+      let code, out = run [ "profile"; doc; "//a/b" ] in
+      Alcotest.(check int) "profile exit" 0 code;
+      Alcotest.(check bool) "plan tree with timings" true
+        (contains out "plan=seq" && contains out "ms)");
+      let trace = Filename.concat dir "trace.json" in
+      let code, out = run [ "profile"; doc; "//a/b"; "--json"; "--trace-out"; trace ] in
+      Alcotest.(check int) "json exit" 0 code;
+      Alcotest.(check bool) "json profile" true (contains out {|"steps":[|});
+      Alcotest.(check bool) "trace written" true (Sys.file_exists trace);
+      let code, out = run [ "query"; doc; "//a/b"; "--count"; "--profile" ] in
+      Alcotest.(check int) "query --profile exit" 0 code;
+      Alcotest.(check bool) "count plus profile" true
+        (contains out "3" && contains out "result: 3 items"))
+
 let test_stats () =
   with_dir (fun dir ->
       let doc = Filename.concat dir "d.xml" in
@@ -109,5 +148,7 @@ let () =
         [ Alcotest.test_case "xmark + query" `Quick test_xmark_and_query;
           Alcotest.test_case "query errors" `Quick test_query_errors;
           Alcotest.test_case "update roundtrip" `Quick test_update_roundtrip;
+          Alcotest.test_case "explain golden file" `Quick test_explain_golden;
+          Alcotest.test_case "profile + trace export" `Quick test_profile_and_slowlog;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover ] ) ]

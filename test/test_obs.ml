@@ -25,6 +25,11 @@ let in_range name lo hi x =
   if not (x >= lo && x <= hi) then
     Alcotest.failf "%s: %g not in [%g, %g]" name x lo hi
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------- instruments -- *)
 
 let test_counter_basics () =
@@ -141,6 +146,24 @@ let test_counter_atomicity () =
     (v0 + ((ndomains + nthreads) * per))
     (Obs.value c)
 
+let test_monotonic () =
+  let t0 = Obs.monotonic () in
+  let t1 = Obs.monotonic () in
+  Alcotest.(check bool) "non-decreasing" true (t1 >= t0);
+  (* time h f measures with the monotonic clock: durations never negative *)
+  let h = Obs.histogram ~base:1e-9 "test.mono_hist" in
+  Obs.time h (fun () -> ());
+  let s =
+    List.find_map
+      (fun (name, _, _, v) ->
+        match v with
+        | Obs.Histogram hs when name = "test.mono_hist" -> Some hs
+        | _ -> None)
+      (Obs.snapshot ()).Obs.entries
+    |> Option.get
+  in
+  Alcotest.(check bool) "duration >= 0" true (s.Obs.min >= 0.0)
+
 (* ------------------------------------------------------------------- spans -- *)
 
 let test_span_nesting () =
@@ -186,12 +209,109 @@ let test_span_survives_exception () =
   | t :: _ -> Alcotest.(check string) "new root" "test_after_raise" t.Obs.Span.name
   | [] -> Alcotest.fail "no trace recorded"
 
-(* --------------------------------------------------------------- rendering -- *)
+let test_span_attrs_and_timed () =
+  let v, sp =
+    Obs.Span.timed "test_timed" (fun () ->
+        Obs.Span.set_int "n" 7;
+        Obs.Span.set_str "k" "v";
+        Obs.Span.with_ "test_timed_child" (fun () -> Obs.Span.set_int "c" 1);
+        42)
+  in
+  Alcotest.(check int) "value through timed" 42 v;
+  Alcotest.(check string) "name" "test_timed" sp.Obs.Span.name;
+  Alcotest.(check bool) "duration >= 0" true (sp.Obs.Span.dur >= 0.0);
+  Alcotest.(check bool) "attrs in set order" true
+    (sp.Obs.Span.attrs = [ ("n", Obs.Span.Int 7); ("k", Obs.Span.Str "v") ]);
+  (match sp.Obs.Span.children with
+  | [ c ] ->
+    Alcotest.(check string) "child name" "test_timed_child" c.Obs.Span.name;
+    Alcotest.(check bool) "child attrs" true (c.Obs.Span.attrs = [ ("c", Obs.Span.Int 1) ])
+  | cs -> Alcotest.failf "expected one child, got %d" (List.length cs));
+  (* attrs show up in the rendered tree *)
+  Alcotest.(check bool) "render shows attrs" true
+    (contains (Obs.Span.render sp) "n=7")
 
-let contains hay needle =
-  let nh = String.length hay and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-  go 0
+let test_ring_overflow () =
+  Obs.reset ();
+  let n = Obs.Span.ring_capacity + 8 in
+  for i = 1 to n do
+    Obs.Span.with_ (Printf.sprintf "ring_%d" i) (fun () -> ())
+  done;
+  let rs = Obs.Span.recent () in
+  Alcotest.(check int) "ring is bounded" Obs.Span.ring_capacity (List.length rs);
+  (match rs with
+  | newest :: _ ->
+    Alcotest.(check string) "newest first" (Printf.sprintf "ring_%d" n)
+      newest.Obs.Span.name
+  | [] -> Alcotest.fail "ring empty");
+  let oldest = List.nth rs (Obs.Span.ring_capacity - 1) in
+  Alcotest.(check string) "oldest survivor"
+    (Printf.sprintf "ring_%d" (n - Obs.Span.ring_capacity + 1))
+    oldest.Obs.Span.name
+
+let test_concurrent_domain_roots () =
+  Obs.reset ();
+  let nd = 4 and per = 4 in
+  let domains =
+    List.init nd (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Obs.Span.with_
+                (Printf.sprintf "conc_%d_%d" d i)
+                (fun () -> Obs.Span.with_ "conc_child" (fun () -> ()))
+            done))
+  in
+  List.iter Domain.join domains;
+  let rs = Obs.Span.recent () in
+  Alcotest.(check int) "every domain root recorded" (nd * per) (List.length rs);
+  List.iter
+    (fun (t : Obs.Span.t) ->
+      Alcotest.(check bool) "a conc_ root" true
+        (String.length t.Obs.Span.name >= 5 && String.sub t.Obs.Span.name 0 5 = "conc_");
+      (* nested spans attached to their own domain's root, not a stranger's *)
+      Alcotest.(check (list string))
+        "child under own root" [ "conc_child" ]
+        (List.map (fun (c : Obs.Span.t) -> c.Obs.Span.name) t.Obs.Span.children))
+    rs
+
+let test_with_context_cross_domain () =
+  Obs.reset ();
+  let (), sp =
+    Obs.Span.timed "ctx_root" (fun () ->
+        let ctx = Obs.Span.context () in
+        let d =
+          Domain.spawn (fun () ->
+              Obs.Span.with_context ctx "ctx_task" (fun () ->
+                  Obs.Span.set_int "x" 1;
+                  Obs.Span.with_ "ctx_inner" (fun () -> ())))
+        in
+        Domain.join d)
+  in
+  (match sp.Obs.Span.children with
+  | [ c ] ->
+    Alcotest.(check string) "task attached under root" "ctx_task" c.Obs.Span.name;
+    Alcotest.(check bool) "task attrs" true (c.Obs.Span.attrs = [ ("x", Obs.Span.Int 1) ]);
+    Alcotest.(check (list string))
+      "spans inside the task nest under it" [ "ctx_inner" ]
+      (List.map (fun (g : Obs.Span.t) -> g.Obs.Span.name) c.Obs.Span.children)
+  | cs -> Alcotest.failf "expected one child, got %d" (List.length cs));
+  (* the task must not also surface as a stray root trace *)
+  Alcotest.(check (list string))
+    "single root" [ "ctx_root" ]
+    (List.map (fun (t : Obs.Span.t) -> t.Obs.Span.name) (Obs.Span.recent ()))
+
+let test_with_context_finished_parent () =
+  Obs.reset ();
+  (* capture a context, let its span finish, then attach: the child must
+     surface as its own root rather than vanish *)
+  let ctx = ref None in
+  Obs.Span.with_ "dead_parent" (fun () -> ctx := Some (Obs.Span.context ()));
+  Obs.Span.with_context (Option.get !ctx) "orphan" (fun () -> ());
+  Alcotest.(check (list string))
+    "orphan surfaced as root" [ "orphan"; "dead_parent" ]
+    (List.map (fun (t : Obs.Span.t) -> t.Obs.Span.name) (Obs.Span.recent ()))
+
+(* --------------------------------------------------------------- rendering -- *)
 
 let test_render_formats () =
   let c = Obs.counter "test.render" in
@@ -202,6 +322,27 @@ let test_render_formats () =
   Alcotest.(check bool) "prometheus sanitises dots" true (contains prom "test_render");
   let json = Obs.render_json snap in
   Alcotest.(check bool) "json has name" true (contains json "\"test.render\"")
+
+(* Prometheus text exposition: inside label values exactly backslash, double
+   quote and newline are escaped — and nothing else. A hostile value must
+   round-trip without corrupting the line structure of the output. *)
+let test_prometheus_escaping () =
+  let hostile = "he said \"hi\"\nback\\slash" in
+  let c = Obs.counter ~labels:[ ("msg", hostile) ] "test.prom_escape" in
+  Obs.inc c;
+  let prom = Obs.render_prometheus (Obs.snapshot ()) in
+  Alcotest.(check bool) "hostile value escaped" true
+    (contains prom {|msg="he said \"hi\"\nback\\slash"|});
+  (* the raw newline must not have leaked into the exposition line *)
+  Alcotest.(check bool) "no raw newline inside a label" false
+    (contains prom "he said \"hi\"\n");
+  (* benign values are not over-escaped (%S would mangle e.g. spaces fine but
+     escapes far more than the prometheus grammar allows) *)
+  let b = Obs.counter ~labels:[ ("k", "plain value") ] "test.prom_escape" in
+  Obs.inc b;
+  let prom = Obs.render_prometheus (Obs.snapshot ()) in
+  Alcotest.(check bool) "plain value untouched" true
+    (contains prom {|k="plain value"|})
 
 (* --------------------------------------------------------------------- e2e -- *)
 
@@ -243,11 +384,23 @@ let () =
           Alcotest.test_case "histogram buckets + quantiles" `Quick
             test_histogram_buckets_and_quantiles;
           Alcotest.test_case "counter atomicity (domains + threads)" `Quick
-            test_counter_atomicity ] );
+            test_counter_atomicity;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic ] );
       ( "spans",
         [ Alcotest.test_case "nesting" `Quick test_span_nesting;
-          Alcotest.test_case "exception safety" `Quick test_span_survives_exception ] );
-      ( "rendering", [ Alcotest.test_case "table/prometheus/json" `Quick test_render_formats ] );
+          Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
+          Alcotest.test_case "attrs + timed" `Quick test_span_attrs_and_timed;
+          Alcotest.test_case "trace ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "concurrent domain roots" `Quick
+            test_concurrent_domain_roots;
+          Alcotest.test_case "with_context cross-domain" `Quick
+            test_with_context_cross_domain;
+          Alcotest.test_case "with_context finished parent" `Quick
+            test_with_context_finished_parent ] );
+      ( "rendering",
+        [ Alcotest.test_case "table/prometheus/json" `Quick test_render_formats;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prometheus_escaping ] );
       ( "e2e",
         [ Alcotest.test_case "overflow ticks schema_up + pagemap" `Quick
             test_overflow_ticks_storage_metrics ] ) ]

@@ -116,6 +116,49 @@ let test_par_equals_seq_sessions () =
           Alcotest.(check bool) (Printf.sprintf "%s: same items" q) true (seq = par))
         queries)
 
+(* Regression: spans opened on worker domains used to be lost (each domain
+   has its own span stack, so worker spans could never reach the caller's
+   trace). With span contexts, every partition of a parallel step must show
+   up as a [par.task] child inside the query's own trace. *)
+let test_worker_spans_attach_to_query_trace () =
+  let db = Db.create ~page_bits:6 ~fill:0.8 (Xmark.Gen.of_scale 0.002) in
+  (* clear the trace ring: earlier tests run parallel queries without an
+     enclosing span, whose tasks correctly surface as root traces *)
+  Obs.reset ();
+  Par.with_pool ~range_cutoff:1 ~ctx_cutoff:1 ~domains:4 (fun pool ->
+      let _, p = Db.query_profiled ~par:pool db "//item//keyword" in
+      let root =
+        match p.Core.Profile.trace with
+        | Some s -> s
+        | None -> Alcotest.fail "profiled query has no trace"
+      in
+      Alcotest.(check string) "root span" "db.query" root.Obs.Span.name;
+      let rec collect (s : Obs.Span.t) =
+        s :: List.concat_map collect s.Obs.Span.children
+      in
+      let tasks =
+        List.filter (fun (s : Obs.Span.t) -> s.Obs.Span.name = "par.task")
+          (collect root)
+      in
+      Alcotest.(check bool) "worker spans present in the trace" true
+        (List.length tasks >= 2);
+      (* every task span carries its partition index and domain id *)
+      List.iter
+        (fun (s : Obs.Span.t) ->
+          let has k =
+            List.exists (fun (k', _) -> k' = k) s.Obs.Span.attrs
+          in
+          Alcotest.(check bool) "task attr" true (has "task");
+          Alcotest.(check bool) "domain attr" true (has "domain"))
+        tasks;
+      (* and none of them leaked out as a root trace of its own *)
+      let stray =
+        List.exists
+          (fun (t : Obs.Span.t) -> t.Obs.Span.name = "par.task")
+          (Obs.Span.recent ())
+      in
+      Alcotest.(check bool) "no stray par.task roots" false stray)
+
 (* --------------------------------------------- vacuum vs pinned readers -- *)
 
 (* Parallel readers pin snapshots while the main thread commits and then
@@ -256,6 +299,10 @@ let () =
         [ Alcotest.test_case "Db.query par = seq" `Quick test_par_equals_seq;
           Alcotest.test_case "Session.query par = seq" `Quick
             test_par_equals_seq_sessions
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "worker spans attach to the query trace" `Quick
+            test_worker_spans_attach_to_query_trace
         ] );
       ( "interleavings",
         [ Alcotest.test_case "vacuum vs pinned parallel readers" `Quick
