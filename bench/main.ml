@@ -11,6 +11,8 @@
                   (writes BENCH_mvcc.json; gated in CI via --baseline)
      parallel     domain-pool query scaling over one pinned snapshot
                   (writes BENCH_parallel.json; 1-domain overhead is gated)
+     cache        epoch-keyed query cache: repeat-query hit speedup and
+                  miss-path overhead (writes BENCH_cache.json; both gated)
      ordpath      variable-length labels degenerate; fixed keys do not
      rdbms        positional (void) access vs a B-tree-indexed SQL host
      storage      the ~25% space overhead of the updateable schema
@@ -174,7 +176,7 @@ let run_fig9 ~scales ~quota =
     let queries = [ "//item//keyword"; "//open_auction//bidder"; "//person/name" ] in
     Core.Par.with_pool ~domains:4 (fun pool ->
         let profs =
-          List.map (fun q -> snd (Core.Db.query_profiled ~par:pool db q)) queries
+          List.map (fun q -> snd (Core.Db.query_profiled_exn ~par:pool db q)) queries
         in
         write_artifact "BENCH_profile.json"
           ("[\n" ^ String.concat ",\n" (List.map Core.Profile.render_json profs) ^ "\n]\n");
@@ -616,7 +618,7 @@ let run_mvcc ~duration =
     let reads = Atomic.make 0 and commits = Atomic.make 0 in
     let reader () =
       while not (Atomic.get stop) do
-        (match Core.Db.query_r db "/*/*" with
+        (match Core.Db.query db "/*/*" with
         | Ok _ -> Atomic.incr reads
         | Error e -> failwith (Core.Db.Error.to_string e));
         Unix.sleepf think
@@ -631,7 +633,7 @@ let run_mvcc ~duration =
       in
       let adding = ref true in
       while not (Atomic.get stop) do
-        match Core.Db.update_r db (if !adding then add else del) with
+        match Core.Db.update db (if !adding then add else del) with
         | Ok _ ->
           Atomic.incr commits;
           adding := not !adding
@@ -717,10 +719,10 @@ let run_parallel ~scale ~quota =
   let queries =
     [ "//item"; "//keyword"; "//item//keyword"; "//open_auction//bidder" ]
   in
-  let seq_results = List.map (fun q -> Core.Db.query db q) queries in
+  let seq_results = List.map (fun q -> Core.Db.query_exn db q) queries in
   let t_seq =
     List.map
-      (fun q -> bench_ns ~quota ("seq/" ^ q) (fun () -> ignore (Core.Db.query db q)))
+      (fun q -> bench_ns ~quota ("seq/" ^ q) (fun () -> ignore (Core.Db.query_exn db q)))
       queries
   in
   let widths = [ 1; 2; 4; 8 ] in
@@ -731,7 +733,7 @@ let run_parallel ~scale ~quota =
             (* identical answers before we time anything *)
             List.iter2
               (fun q expect ->
-                if Core.Db.query ~par:pool db q <> expect then
+                if Core.Db.query_exn ~par:pool db q <> expect then
                   failwith
                     (Printf.sprintf "parallel result differs at %d domains: %s"
                        domains q))
@@ -741,7 +743,7 @@ let run_parallel ~scale ~quota =
                 (fun q ->
                   bench_ns ~quota
                     (Printf.sprintf "par%d/%s" domains q)
-                    (fun () -> ignore (Core.Db.query ~par:pool db q)))
+                    (fun () -> ignore (Core.Db.query_exn ~par:pool db q)))
                 queries
             in
             (domains, ts)))
@@ -807,6 +809,142 @@ let run_parallel ~scale ~quota =
               rows))
         overhead_1d speedup_4d);
   print_endline "results written to BENCH_parallel.json"
+
+(* ----------------------------------------------------------------- cache -- *)
+
+(* Epoch-keyed query cache: repeating a query against an unchanged store must
+   be served from the result cache (gate: hit time <= 20% of the uncached
+   time, i.e. >= 5x speedup), and the miss path — probe, evaluate, insert —
+   must cost at most 5% over a cache-less store. The miss row uses a 1-entry
+   cache with two alternating queries so they evict each other: every probe
+   misses and pays the full insert + evict path (the plan tier still hits,
+   which is part of the design — compiled plans survive epoch changes). *)
+let run_cache ~scale ~quota =
+  header "Query cache: epoch-keyed result reuse (hit speedup, miss overhead)";
+  let scale = Float.max scale 0.01 in
+  let d, t_gen = wall (fun () -> Xmark.Gen.of_scale scale) in
+  let nodes = Xml.Dom.node_count d in
+  Printf.printf "scale %.4f: %d nodes (generated in %.1fs)\n%!" scale nodes
+    t_gen;
+  let db_off = Core.Db.create ~page_bits:10 ~fill:0.8 d in
+  let db_on =
+    Core.Db.create ~page_bits:10 ~fill:0.8 ~cache:Core.Db.default_cache d
+  in
+  let queries =
+    [ "//item"; "//keyword"; "//item//keyword"; "//open_auction//bidder" ]
+  in
+  (* identical answers cold and from the cache before we time anything *)
+  List.iter
+    (fun q ->
+      let expect = Core.Db.query_exn db_off q in
+      if Core.Db.query_exn db_on q <> expect then
+        failwith ("cached (cold) result differs: " ^ q);
+      if Core.Db.query_exn db_on q <> expect then
+        failwith ("cached (hit) result differs: " ^ q))
+    queries;
+  let t_off =
+    List.map
+      (fun q ->
+        bench_ns ~quota ("off/" ^ q) (fun () ->
+            ignore (Core.Db.query_exn db_off q)))
+      queries
+  in
+  let t_hit =
+    List.map
+      (fun q ->
+        bench_ns ~quota ("hit/" ^ q) (fun () ->
+            ignore (Core.Db.query_exn db_on q)))
+      queries
+  in
+  let q1 = "//item//keyword" and q2 = "//open_auction//bidder" in
+  let db_miss =
+    Core.Db.create ~page_bits:10 ~fill:0.8
+      ~cache:(Core.Db.cache_config ~entries:1 ()) d
+  in
+  (* the pair loops run for microseconds, so at smoke quotas scheduler noise
+     swamps any single OLS estimate and the ratio gate would flake; noise is
+     one-sided, so the min over a few interleaved estimates converges on the
+     true cost of each side *)
+  let pair_quota = Float.max quota 0.1 in
+  let t_miss_pair = ref infinity and t_off_pair = ref infinity in
+  for _ = 1 to 9 do
+    t_miss_pair :=
+      Float.min !t_miss_pair
+        (bench_ns ~quota:pair_quota "miss/pair" (fun () ->
+             ignore (Core.Db.query_exn db_miss q1);
+             ignore (Core.Db.query_exn db_miss q2)));
+    t_off_pair :=
+      Float.min !t_off_pair
+        (bench_ns ~quota:pair_quota "off/pair" (fun () ->
+             ignore (Core.Db.query_exn db_off q1);
+             ignore (Core.Db.query_exn db_off q2)))
+  done;
+  let t_miss_pair = !t_miss_pair and t_off_pair = !t_off_pair in
+  (* epoch invalidation end to end: a commit must re-route the same text to
+     a fresh evaluation that sees the new state *)
+  let n_w = List.length (Core.Db.query_exn db_on "//w") in
+  let add =
+    {|<xupdate:modifications><xupdate:append select="/*"><w/></xupdate:append></xupdate:modifications>|}
+  in
+  (match Core.Db.update db_on add with
+  | Ok _ -> ()
+  | Error e -> failwith (Core.Db.Error.to_string e));
+  let n_w' = List.length (Core.Db.query_exn db_on "//w") in
+  if n_w' <> n_w + 1 then failwith "stale cached result survived a commit";
+  Printf.printf "\n%-24s %12s %12s %9s\n" "query" "uncached ns" "hit ns"
+    "speedup";
+  List.iteri
+    (fun i q ->
+      let o = List.nth t_off i and h = List.nth t_hit i in
+      Printf.printf "%-24s %12.0f %12.0f %8.1fx\n" q o h (o /. h))
+    queries;
+  let repeat_frac =
+    List.fold_left ( +. ) 0.0 (List.map2 (fun o h -> h /. o) t_off t_hit)
+    /. float_of_int (List.length queries)
+  in
+  let miss_overhead = t_miss_pair /. t_off_pair in
+  Printf.printf
+    "\navg hit time as fraction of uncached: %.4fx (gate <= 0.20, i.e. >= 5x)\n"
+    repeat_frac;
+  Printf.printf "miss-path overhead vs no cache: %.3fx (gate <= 1.05x)\n"
+    miss_overhead;
+  record_gate "cache_repeat_frac" repeat_frac;
+  record_gate "cache_miss_overhead" miss_overhead;
+  let st =
+    match Core.Db.cache_stats db_on with
+    | Some st -> st
+    | None -> failwith "cache-enabled store reports no stats"
+  in
+  Printf.printf
+    "cache: %d hits / %d misses, %d plan hits, %d evictions, %d entries, %d bytes\n"
+    st.Core.Qcache.hits st.Core.Qcache.misses st.Core.Qcache.plan_hits
+    st.Core.Qcache.evictions st.Core.Qcache.entries st.Core.Qcache.bytes;
+  let oc = open_out "BENCH_cache.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"scale\": %g,\n\
+        \  \"nodes\": %d,\n\
+        \  \"queries\": [%s],\n\
+        \  \"uncached_ns\": [%s],\n\
+        \  \"hit_ns\": [%s],\n\
+        \  \"repeat_frac\": %g,\n\
+        \  \"miss_pair_ns\": %.1f,\n\
+        \  \"off_pair_ns\": %.1f,\n\
+        \  \"miss_overhead\": %g,\n\
+        \  \"stats\": { \"hits\": %d, \"misses\": %d, \"plan_hits\": %d,\n\
+        \             \"evictions\": %d, \"entries\": %d, \"bytes\": %d }\n\
+         }\n"
+        scale nodes
+        (String.concat ", " (List.map (Printf.sprintf "\"%s\"") queries))
+        (String.concat ", " (List.map (Printf.sprintf "%.1f") t_off))
+        (String.concat ", " (List.map (Printf.sprintf "%.1f") t_hit))
+        repeat_frac t_miss_pair t_off_pair miss_overhead st.Core.Qcache.hits
+        st.Core.Qcache.misses st.Core.Qcache.plan_hits
+        st.Core.Qcache.evictions st.Core.Qcache.entries st.Core.Qcache.bytes);
+  print_endline "results written to BENCH_cache.json"
 
 (* -------------------------------------------------------------- baseline -- *)
 
@@ -894,7 +1032,7 @@ let () =
         "gate file: fail (exit 1) when a measured gate exceeds baseline by >20%" ) ]
   in
   Arg.parse spec (fun x -> experiments := x :: !experiments)
-    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|ordpath|storage|all]*";
+    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|cache|ordpath|storage|all]*";
   let chosen = match !experiments with [] -> [ "all" ] | l -> List.rev l in
   let want name = List.mem name chosen || List.mem "all" chosen in
   if want "fig9" then run_fig9 ~scales:!scales ~quota:!quota;
@@ -906,6 +1044,8 @@ let () =
   if want "mvcc" then run_mvcc ~duration:!duration;
   if want "parallel" then
     run_parallel ~scale:(List.fold_left Float.max 0.0005 !scales) ~quota:!quota;
+  if want "cache" then
+    run_cache ~scale:(List.fold_left Float.max 0.0005 !scales) ~quota:!quota;
   if want "ordpath" then run_ordpath ();
   if want "rdbms" then
     run_rdbms ~scale:(List.fold_left max 0.0005 !scales /. 5.0) ~quota:!quota;

@@ -3,8 +3,8 @@
    Subcommands: query, explain, profile, xquery, update, stats, xmark,
    metrics, checkpoint, recover, concurrent, torture.
 
-   Built on the result API (Db.query_r / Db.update_r / Db.open_recovered_r
-   and Db.Session): every expected failure arrives as a Db.Error.t, so error
+   Built on the result API (Db.query / Db.update / Db.open_recovered and
+   Db.Session): every expected failure arrives as a Db.Error.t, so error
    handling is one match per subcommand instead of a catch per exception. *)
 
 open Cmdliner
@@ -36,9 +36,9 @@ let parse_xml_file ~what path parse =
 
 let protect_parse f = try f () with Parse_failed -> 1
 
-let load ?wal_path ~page_bits ~fill path =
+let load ?wal_path ?cache ~page_bits ~fill path =
   parse_xml_file ~what:"xml" path (fun src ->
-      Core.Db.of_xml ~page_bits ~fill ?wal_path src)
+      Core.Db.of_xml ~page_bits ~fill ?wal_path ?cache src)
 
 (* common options *)
 let page_bits =
@@ -50,6 +50,42 @@ let fill =
   Arg.(value & opt float 0.8 & info [ "fill" ] ~doc)
 
 let doc_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"XML-FILE")
+
+(* ------------------------------------------------------------ query cache *)
+
+let cache_flag =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Enable the epoch-keyed query/plan cache: results are reused while \
+           the snapshot epoch is unchanged and invalidated for free by \
+           commits. The $(b,XQDB_CACHE) environment variable \
+           ($(b,force)/$(b,off)) overrides this process-wide.")
+
+let cache_size_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"Result-cache entry bound (implies $(b,--cache)).")
+
+let cache_cfg enabled size =
+  match enabled, size with
+  | false, None -> None
+  | _, Some n -> Some (Core.Db.cache_config ~entries:n ())
+  | true, None -> Some Core.Db.default_cache
+
+let render_cache_stats db =
+  match Core.Db.cache_stats db with
+  | None -> "cache: disabled\n"
+  | Some st ->
+    Printf.sprintf
+      "cache: %d/%d entries, %d bytes (max %d), plans %d hit / %d miss\n\
+       cache results: %d hit / %d miss, %d evicted, %d single-flight wait(s)\n"
+      st.Core.Qcache.entries st.Core.Qcache.max_entries st.Core.Qcache.bytes
+      st.Core.Qcache.max_bytes st.Core.Qcache.plan_hits
+      st.Core.Qcache.plan_misses st.Core.Qcache.hits st.Core.Qcache.misses
+      st.Core.Qcache.evictions st.Core.Qcache.singleflight_waits
 
 (* ---------------------------------------------------------------- metrics *)
 
@@ -104,24 +140,25 @@ let query_cmd =
             "Also collect a per-step profile and print the plan tree (with \
              timings) to stderr after the results.")
   in
-  let run path xpath count_only profile page_bits fill domains metrics =
+  let run path xpath count_only profile page_bits fill domains cache cache_size
+      metrics =
     protect_parse (fun () ->
-        let db = load ~page_bits ~fill path in
+        let db = load ?cache:(cache_cfg cache cache_size) ~page_bits ~fill path in
         let code =
           (* One session: the query and the serialisation of its results
              read the same pinned snapshot. *)
           match
             with_domains domains @@ fun par ->
-            Core.Db.read_txn ?par db (fun s ->
+            Core.Db.read_txn_exn ?par db (fun s ->
                 let res =
                   if profile then
                     Result.map
                       (fun (items, p) -> (items, Some p))
-                      (Core.Db.Session.query_profiled_r s xpath)
+                      (Core.Db.Session.query_profiled s xpath)
                   else
                     Result.map
                       (fun items -> (items, None))
-                      (Core.Db.Session.query_r s xpath)
+                      (Core.Db.Session.query s xpath)
                 in
                 match res with
                 | Error _ as e -> e
@@ -154,7 +191,7 @@ let query_cmd =
   Cmd.v info
     Term.(
       const run $ doc_arg $ xpath $ count_only $ profile_flag $ page_bits $ fill
-      $ domains_arg $ metrics_flag)
+      $ domains_arg $ cache_flag $ cache_size_arg $ metrics_flag)
 
 (* -------------------------------------------------------- explain/profile *)
 
@@ -165,7 +202,7 @@ let explain_cmd =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
         match
-          with_domains domains @@ fun par -> Core.Db.query_profiled_r ?par db xpath
+          with_domains domains @@ fun par -> Core.Db.query_profiled ?par db xpath
         with
         | Ok (_, p) ->
           print_string (Core.Profile.render_explain ~timings:false p);
@@ -200,7 +237,7 @@ let profile_cmd =
     protect_parse (fun () ->
         let db = load ~page_bits ~fill path in
         match
-          with_domains domains @@ fun par -> Core.Db.query_profiled_r ?par db xpath
+          with_domains domains @@ fun par -> Core.Db.query_profiled ?par db xpath
         with
         | Error e -> report_error e
         | Ok (_, p) ->
@@ -279,7 +316,7 @@ let update_cmd =
                 ignore (Xml.Xml_parser.parse src);
                 src)
           in
-          match Core.Db.update_r db src with
+          match Core.Db.update db src with
           | Ok n ->
             Printf.eprintf "%d target(s) updated\n" n;
             let xml = Core.Db.to_xml db in
@@ -367,28 +404,43 @@ let metrics_cmd =
       & info [ "traces" ]
           ~doc:"Also print the recorded span traces of the run (table format).")
   in
-  let run path queries updates format traces page_bits fill =
+  let cache_stats_flag =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:
+            "Also print the query cache's own counters (hits, misses, \
+             evictions, bytes, single-flight waits) after the registry. \
+             Implies $(b,--cache).")
+  in
+  let run path queries updates format traces cache cache_size cache_stats
+      page_bits fill =
     protect_parse (fun () ->
         let wal_path = Filename.temp_file "xqdb_metrics" ".wal" in
         Fun.protect
           ~finally:(fun () -> try Sys.remove wal_path with Sys_error _ -> ())
           (fun () ->
-            let db = load ~wal_path ~page_bits ~fill path in
+            let db =
+              load
+                ?cache:(cache_cfg (cache || cache_stats) cache_size)
+                ~wal_path ~page_bits ~fill path
+            in
             let code = ref 0 in
             List.iter
               (fun q ->
-                match Core.Db.query_r db q with
+                match Core.Db.query db q with
                 | Ok items -> Printf.eprintf "query %s: %d item(s)\n" q (List.length items)
                 | Error e -> code := report_error e)
               queries;
             List.iter
               (fun u ->
-                match Core.Db.update_r db (read_file u) with
+                match Core.Db.update db (read_file u) with
                 | Ok n -> Printf.eprintf "update %s: %d target(s)\n" u n
                 | Error e -> code := report_error e)
               updates;
             Core.Db.close db;
             print_string (render_metrics format);
+            if cache_stats then print_string (render_cache_stats db);
             if traces then begin
               match Core.Db.recent_traces db with
               | [] -> ()
@@ -407,8 +459,8 @@ let metrics_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ doc_arg $ queries $ updates $ format_arg $ traces $ page_bits
-      $ fill)
+      const run $ doc_arg $ queries $ updates $ format_arg $ traces $ cache_flag
+      $ cache_size_arg $ cache_stats_flag $ page_bits $ fill)
 
 (* ------------------------------------------------------ checkpoint/recover *)
 
@@ -439,7 +491,7 @@ let recover_cmd =
            ~doc:"Do not print the recovered document (summary still goes to stderr).")
   in
   let run ck wal output quiet =
-    match Core.Db.open_recovered_r ?wal_path:wal ~checkpoint:ck () with
+    match Core.Db.open_recovered ?wal_path:wal ~checkpoint:ck () with
     | Error e -> report_error e
     | Ok db ->
       (match Core.Schema_up.check_integrity (Core.Db.store db) with
@@ -520,7 +572,7 @@ let concurrent_cmd =
       while not (Atomic.get stop) do
         let par = if !i land 1 = 1 then par else None in
         incr i;
-        (match Core.Db.query_r ?par db query with
+        (match Core.Db.query ?par db query with
         | Ok _ -> Atomic.incr reads
         | Error _ -> Atomic.incr read_errors);
         if think > 0.0 then Unix.sleepf think
@@ -540,7 +592,7 @@ let concurrent_cmd =
       in
       let adding = ref true in
       while not (Atomic.get stop) do
-        match Core.Db.update_r db (if !adding then add else del) with
+        match Core.Db.update db (if !adding then add else del) with
         | Ok _ ->
           Atomic.incr commits;
           adding := not !adding
@@ -564,10 +616,10 @@ let concurrent_cmd =
       Atomic.get aborts,
       Atomic.get read_errors )
   in
-  let run path readers writers duration query think par_domains slow_log
-      page_bits fill metrics =
+  let run path readers writers duration query think par_domains slow_log cache
+      cache_size page_bits fill metrics =
     protect_parse (fun () ->
-        let db = load ~page_bits ~fill path in
+        let db = load ?cache:(cache_cfg cache cache_size) ~page_bits ~fill path in
         Option.iter
           (fun ms -> Core.Profile.Slowlog.configure ~threshold_s:(ms /. 1000.) ())
           slow_log;
@@ -600,6 +652,7 @@ let concurrent_cmd =
                   p.Core.Profile.query p.Core.Profile.items p.Core.Profile.domains
                   (List.length p.Core.Profile.steps))
               es));
+        if cache || cache_size <> None then print_string (render_cache_stats db);
         (match Core.Schema_up.check_integrity (Core.Db.store db) with
         | Ok () -> print_endline "integrity: OK"
         | Error m -> Printf.printf "integrity FAILED: %s\n" m);
@@ -616,7 +669,8 @@ let concurrent_cmd =
   Cmd.v info
     Term.(
       const run $ doc_arg $ readers $ writers $ duration $ query $ think
-      $ par_domains $ slow_log $ page_bits $ fill $ metrics_flag)
+      $ par_domains $ slow_log $ cache_flag $ cache_size_arg $ page_bits $ fill
+      $ metrics_flag)
 
 (* ---------------------------------------------------------------- torture *)
 
@@ -803,7 +857,7 @@ module Torture = struct
     for j = 1 to ops do
       let src = gen_op rng sh in
       Printf.fprintf oracle "INTENT %d\n%!" j;
-      (match Core.Db.update_r db src with
+      (match Core.Db.update db src with
       | Ok _ -> Printf.fprintf oracle "OK %d\n%!" j
       | Error e ->
         Printf.eprintf "op %d failed: %s\n" j (Core.Db.Error.to_string e);
@@ -846,7 +900,7 @@ module Torture = struct
     if intent - acked > 1 || acked > intent then
       Error (Printf.sprintf "oracle log inconsistent: acked %d, intent %d" acked intent)
     else
-      match Core.Db.open_recovered_r ~wal_path:(wal_of dir) ~checkpoint:(ck_of dir) ~schema () with
+      match Core.Db.open_recovered ~wal_path:(wal_of dir) ~checkpoint:(ck_of dir) ~schema () with
       | Error e -> Error ("recovery failed: " ^ Core.Db.Error.to_string e)
       | Ok db -> (
         let recovered = Core.Db.to_xml db in
@@ -863,7 +917,7 @@ module Torture = struct
               else Error "serialize/reshred round-trip diverged");
             (fun () ->
               match
-                Core.Db.update_r db
+                Core.Db.update db
                   (wrap {|<xupdate:append select="/torture"><item id="post"/></xupdate:append>|})
               with
               | Ok _ -> Ok ()
@@ -882,7 +936,7 @@ module Torture = struct
             matched := 0 :: !matched;
           for j = 1 to min intent ops do
             let src = gen_op rng sh in
-            (match Core.Db.update_r replay src with Ok _ | Error _ -> ());
+            (match Core.Db.update replay src with Ok _ | Error _ -> ());
             if j >= acked && String.equal (Core.Db.to_xml replay) recovered then
               matched := j :: !matched
           done;

@@ -23,14 +23,14 @@ let () =
   (* 2. Query with XPath. Reads pin an MVCC snapshot — no lock held. *)
   print_endline "== titles of post-2000 books ==";
   List.iter print_endline
-    (Core.Db.query_strings db "//book[@year > 2000]/title/text()");
+    (Core.Db.query_strings_exn db "//book[@year > 2000]/title/text()");
 
-  Printf.printf "books in total: %d\n" (Core.Db.query_count db "//book");
+  Printf.printf "books in total: %d\n" (Core.Db.query_count_exn db "//book");
 
   (* 3. Update with XUpdate. Each call is one ACID transaction: staged
      privately, validated, committed behind the manager's commit mutex. *)
   let n =
-    Core.Db.update db
+    Core.Db.update_exn db
       {|<xupdate:modifications>
           <xupdate:append select="/library/shelf[@subject='xml']">
             <book year="2005">

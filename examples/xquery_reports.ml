@@ -43,7 +43,7 @@ let () =
      updated pre/post plane *)
   print_endline "-- inserting a privileged bidder into every hot auction --\n";
   let n =
-    Core.Db.update db
+    Core.Db.update_exn db
       {|<xupdate:modifications>
           <xupdate:insert-before select="/site/open_auctions/open_auction[count(bidder) >= 3]/bidder[1]">
             <bidder><date>06/07/2026</date><time>00:00:00</time>

@@ -2,7 +2,12 @@ type t = {
   mgr : Txn.manager;
   schema : Validate.t option;
   wal_handle : Wal.t option;
+  cache : cache_t option;
 }
+
+and cache_t = item_list Qcache.t
+
+and item_list = Engine.Make(View).item list
 
 module E = Engine.Make (View)
 module Ser = Node_serialize.Make (View)
@@ -25,9 +30,9 @@ module Error = struct
     | Io msg -> "i/o error: " ^ msg
 end
 
-(* One funnel from the four unrelated exception families the legacy entry
-   points raise to the unified [Error.t]. Unknown exceptions still escape:
-   they are bugs, not results. *)
+(* One funnel from the unrelated exception families the [_exn] entry points
+   raise to the unified [Error.t]. Unknown exceptions still escape: they are
+   bugs, not results. *)
 let capture f =
   match f () with
   | v -> Ok v
@@ -38,6 +43,9 @@ let capture f =
   | exception Xupdate.Parse_error msg ->
     Error (Error.Parse { source = "xupdate"; msg })
   | exception Xupdate.Apply_error msg -> Error (Error.Apply msg)
+  (* append's attribute content reaches Update.set_attribute outside the
+     wrapper that turns Update_error into Apply_error *)
+  | exception Update.Update_error msg -> Error (Error.Apply msg)
   | exception Txn.Aborted msg -> Error (Error.Aborted msg)
   | exception Lock.Would_deadlock { owner; page } ->
     Error
@@ -46,19 +54,68 @@ let capture f =
   | exception Failure msg -> Error (Error.Corrupt msg)
   | exception Sys_error msg -> Error (Error.Io msg)
 
+(* ----------------------------------------------------------- query cache -- *)
+
+type cache_config = { entries : int; bytes : int; plans : int }
+
+let cache_config ?(entries = 256) ?(bytes = 16 * 1024 * 1024) ?(plans = 128) () =
+  { entries; bytes; plans }
+
+let default_cache = cache_config ()
+
+(* Approximate resident bytes of a result list, for the cache's byte bound:
+   boxed list cells + per-item payload (attribute strings dominate). *)
+let result_size items =
+  List.fold_left
+    (fun acc it ->
+      acc
+      + match it with
+        | E.Node _ -> 32
+        | E.Attribute { value; _ } -> 96 + String.length value)
+    16 items
+
+let mk_cache cfg =
+  Qcache.create ~max_entries:cfg.entries ~max_bytes:cfg.bytes
+    ~max_plans:cfg.plans ~size:result_size ()
+
+(* [XQDB_CACHE] overrides the per-store choice process-wide: [force] turns
+   caching on (default config) for stores created without one — the CI test
+   matrix uses this to run every suite cache-on — and [off] disables it. *)
+let resolve_cache cache =
+  let env =
+    match Sys.getenv_opt "XQDB_CACHE" with
+    | None -> `Default
+    | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "force" | "on" | "1" -> `Force
+      | "off" | "0" -> `Off
+      | _ -> `Default)
+  in
+  match env, cache with
+  | `Off, _ -> None
+  | `Force, None -> Some (mk_cache default_cache)
+  | (`Force | `Default), Some cfg -> Some (mk_cache cfg)
+  | `Default, None -> None
+
 (* ------------------------------------------------------------- lifecycle -- *)
 
-let create ?page_bits ?fill ?wal_path ?schema doc =
+let create ?page_bits ?fill ?wal_path ?schema ?cache doc =
   let base = Schema_up.of_dom ?page_bits ?fill doc in
   let wal_handle = Option.map Wal.open_log wal_path in
-  { mgr = Txn.manager ?wal:wal_handle base; schema; wal_handle }
+  { mgr = Txn.manager ?wal:wal_handle base;
+    schema;
+    wal_handle;
+    cache = resolve_cache cache }
 
-let of_xml ?page_bits ?fill ?wal_path ?schema src =
-  create ?page_bits ?fill ?wal_path ?schema (Xml.Xml_parser.parse ~strip_ws:true src)
+let of_xml ?page_bits ?fill ?wal_path ?schema ?cache src =
+  create ?page_bits ?fill ?wal_path ?schema ?cache
+    (Xml.Xml_parser.parse ~strip_ws:true src)
 
 let store t = Txn.store t.mgr
 
 let manager t = t.mgr
+
+let cache_stats t = Option.map Qcache.stats t.cache
 
 let checkpoint ?(truncate_wal = false) t path =
   (* Commits are excluded for the duration (Txn.exclusive): the snapshot is
@@ -91,7 +148,7 @@ let checkpoint ?(truncate_wal = false) t path =
       if truncate_wal then Option.iter Wal.rotate t.wal_handle;
       Fault.hit "db.checkpoint.after")
 
-let open_recovered ?wal_path ?schema ~checkpoint () =
+let open_recovered_exn ?wal_path ?schema ?cache ~checkpoint () =
   let ic = open_in_bin checkpoint in
   let payload =
     Fun.protect
@@ -107,38 +164,31 @@ let open_recovered ?wal_path ?schema ~checkpoint () =
   let wal_path = Option.value ~default:(checkpoint ^ ".wal") wal_path in
   let _, last = Txn.recover ~after:lsn ~wal_path base in
   let wal_handle = Some (Wal.open_log wal_path) in
-  { mgr = Txn.manager ?wal:wal_handle ~next_txn:(last + 1) base; schema; wal_handle }
+  { mgr = Txn.manager ?wal:wal_handle ~next_txn:(last + 1) base;
+    schema;
+    wal_handle;
+    cache = resolve_cache cache }
 
-let open_recovered_r ?wal_path ?schema ~checkpoint () =
-  capture (fun () -> open_recovered ?wal_path ?schema ~checkpoint ())
+let open_recovered ?wal_path ?schema ?cache ~checkpoint () =
+  capture (fun () -> open_recovered_exn ?wal_path ?schema ?cache ~checkpoint ())
 
 let close t = Option.iter Wal.close t.wal_handle
 
-(* --------------------------------------------------------------- queries -- *)
+(* ---------------------------------------------------------- profiled core -- *)
 
 let read t f = Txn.read t.mgr f
 
-(* Shared profiled-query core: parse + evaluate inside a "db.query" span,
-   collect per-step records from the engine, and fold everything into a
-   [Profile.t] together with the span tree itself. The slow-query log is fed
-   unconditionally — [note] self-gates on its threshold. *)
-let profiled ~domains ~src run_eval =
+(* Shared profiled-query core: run an evaluation strategy inside a
+   "db.query" span and fold the timings, step records and cache status into
+   a [Profile.t] together with the span tree itself. The slow-query log is
+   fed unconditionally — [note] self-gates on its threshold. *)
+let profiled ~domains ~src run =
   let started_at = Obs.now () in
   let parse_s = ref 0. and eval_s = ref 0. in
+  let cache = ref None in
   let prof = Profile.collector () in
   let items, span =
-    Obs.Span.timed "db.query" (fun () ->
-        let t0 = Obs.monotonic () in
-        let path =
-          Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src)
-        in
-        parse_s := Obs.monotonic () -. t0;
-        let t1 = Obs.monotonic () in
-        let items =
-          Obs.Span.with_ "engine.eval" (fun () -> run_eval ~prof path)
-        in
-        eval_s := Obs.monotonic () -. t1;
-        items)
+    Obs.Span.timed "db.query" (fun () -> run ~prof ~parse_s ~eval_s ~cache)
   in
   let p =
     { Profile.query = src;
@@ -148,109 +198,189 @@ let profiled ~domains ~src run_eval =
       total_s = span.Obs.Span.dur;
       items = List.length items;
       domains;
+      cache = !cache;
       steps = Profile.steps prof;
       trace = Some span }
   in
   Profile.Slowlog.note p;
   (items, p)
 
-let query_profiled ?par t src =
-  let domains = match par with Some p -> Par.domains p | None -> 1 in
-  profiled ~domains ~src (fun ~prof path ->
-      read t (fun v -> E.eval_items ?par ~prof v path))
+(* Plain strategy: parse, evaluate. *)
+let run_plain ~src eval ~prof ~parse_s ~eval_s ~cache:_ =
+  let t0 = Obs.monotonic () in
+  let path =
+    Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src)
+  in
+  parse_s := Obs.monotonic () -. t0;
+  let t1 = Obs.monotonic () in
+  let items = Obs.Span.with_ "engine.eval" (fun () -> eval ~prof path) in
+  eval_s := Obs.monotonic () -. t1;
+  items
 
-let query_profiled_r ?par t src = capture (fun () -> query_profiled ?par t src)
-
-let query ?par t src =
-  (* with the slow-query log armed, every query runs profiled so crossing
-     the threshold captures a full profile, not just a duration *)
-  match Profile.Slowlog.threshold () with
-  | Some _ -> fst (query_profiled ?par t src)
-  | None ->
-    Obs.Span.with_ "db.query" (fun () ->
+(* Cached strategy: consult the result tier for (src, epoch); on a miss,
+   parse through the plan tier and evaluate (single-flighted — concurrent
+   readers of the same key share this computation). A hit leaves the step
+   list empty: nothing was evaluated. *)
+let run_cached ~src c ~epoch eval ~prof ~parse_s ~eval_s ~cache =
+  let t1 = Obs.monotonic () in
+  let computed = ref false in
+  let items =
+    Qcache.with_result c ~query:src ~epoch (fun () ->
+        computed := true;
+        let t0 = Obs.monotonic () in
         let path =
-          Obs.Span.with_ "xpath.parse" (fun () -> Xpath.Xpath_parser.parse src)
+          Obs.Span.with_ "xpath.parse" (fun () ->
+              Qcache.plan c src Xpath.Xpath_parser.parse)
         in
-        read t (fun v ->
-            Obs.Span.with_ "engine.eval" (fun () -> E.eval_items ?par v path)))
-
-let query_r ?par t src = capture (fun () -> query ?par t src)
-
-let query_strings ?par t src =
-  let path = Xpath.Xpath_parser.parse src in
-  read t (fun v -> List.map (E.item_string v) (E.eval_items ?par v path))
-
-let query_count ?par t src = List.length (query ?par t src)
-
-let to_xml ?indent t = read t (fun v -> Ser.to_string ?indent v)
-
-(* --------------------------------------------------------------- updates -- *)
-
-let with_write t f =
-  let validate = Option.map Validate.checker t.schema in
-  Txn.with_write t.mgr ?validate f
-
-let update t src =
-  Obs.Span.with_ "db.update" (fun () ->
-      let cmds = Obs.Span.with_ "xupdate.parse" (fun () -> Xupdate.parse src) in
-      with_write t (fun v ->
-          Obs.Span.with_ "xupdate.apply" (fun () -> Xupdate.apply v cmds)))
-
-let update_r t src = capture (fun () -> update t src)
+        parse_s := Obs.monotonic () -. t0;
+        Obs.Span.with_ "engine.eval" (fun () -> eval ~prof path))
+  in
+  eval_s := Obs.monotonic () -. t1 -. !parse_s;
+  cache := Some (if !computed then Profile.Miss else Profile.Hit);
+  items
 
 (* -------------------------------------------------------------- sessions -- *)
 
 module Session = struct
   (* [par] is only ever set on read sessions: parallel workers read the
      session's view from other domains, which is safe for pinned snapshots
-     (immutable after capture) but not for staged writable views. *)
-  type t = { v : View.t; writable : bool; par : Par.t option }
+     (immutable after capture) but not for staged writable views.
+
+     [cache]/[epoch] likewise: only a read session carries them. The epoch
+     comes from the session's OWN pinned descriptor (View.snapshot_version),
+     never from the manager's last-commit counter — a commit finishing
+     between pin and query must not retag this snapshot's results. Write
+     sessions bypass the cache entirely: their staged view is not a
+     committed epoch. *)
+  type t = {
+    v : View.t;
+    writable : bool;
+    par : Par.t option;
+    cache : item_list Qcache.t option;
+    epoch : int option;
+  }
 
   let view s = s.v
 
   let writable s = s.writable
 
-  let query_profiled s src =
+  let active_cache s =
+    match s.cache, s.epoch with
+    | Some c, Some e when not s.writable -> Some (c, e)
+    | _ -> None
+
+  let cached s = active_cache s <> None
+
+  let query_profiled_exn s src =
     let domains = match s.par with Some p -> Par.domains p | None -> 1 in
-    profiled ~domains ~src (fun ~prof path ->
-        E.eval_items ?par:s.par ~prof s.v path)
+    let eval ~prof path = E.eval_items ?par:s.par ~prof s.v path in
+    match active_cache s with
+    | None -> profiled ~domains ~src (run_plain ~src eval)
+    | Some (c, epoch) -> profiled ~domains ~src (run_cached ~src c ~epoch eval)
 
-  let query_profiled_r s src = capture (fun () -> query_profiled s src)
+  let query_profiled s src = capture (fun () -> query_profiled_exn s src)
 
-  let query s src =
+  let query_exn s src =
+    (* with the slow-query log armed, every query runs profiled so crossing
+       the threshold captures a full profile, not just a duration *)
     match Profile.Slowlog.threshold () with
-    | Some _ -> fst (query_profiled s src)
-    | None -> E.eval_items ?par:s.par s.v (Xpath.Xpath_parser.parse src)
+    | Some _ -> fst (query_profiled_exn s src)
+    | None -> (
+      match active_cache s with
+      | None ->
+        Obs.Span.with_ "db.query" (fun () ->
+            let path =
+              Obs.Span.with_ "xpath.parse" (fun () ->
+                  Xpath.Xpath_parser.parse src)
+            in
+            Obs.Span.with_ "engine.eval" (fun () ->
+                E.eval_items ?par:s.par s.v path))
+      | Some (c, epoch) ->
+        Obs.Span.with_ "db.query" (fun () ->
+            Qcache.with_result c ~query:src ~epoch (fun () ->
+                let path =
+                  Obs.Span.with_ "xpath.parse" (fun () ->
+                      Qcache.plan c src Xpath.Xpath_parser.parse)
+                in
+                Obs.Span.with_ "engine.eval" (fun () ->
+                    E.eval_items ?par:s.par s.v path))))
 
-  let query_r s src = capture (fun () -> query s src)
+  let query s src = capture (fun () -> query_exn s src)
 
-  let count s src = List.length (query s src)
+  let count_exn s src = List.length (query_exn s src)
 
-  let strings s src =
-    List.map (E.item_string s.v)
-      (E.eval_items ?par:s.par s.v (Xpath.Xpath_parser.parse src))
+  let count s src = capture (fun () -> count_exn s src)
+
+  let strings_exn s src = List.map (E.item_string s.v) (query_exn s src)
+
+  let strings s src = capture (fun () -> strings_exn s src)
 
   let serialize ?indent s = Ser.to_string ?indent s.v
 
   let item_string s item = E.item_string s.v item
 
-  let update s src =
+  let update_exn s src =
     if not s.writable then
       invalid_arg "Db.Session.update: read session (use Db.write_txn)";
     Xupdate.apply s.v (Xupdate.parse src)
 
-  let update_r s src = capture (fun () -> update s src)
+  let update s src = capture (fun () -> update_exn s src)
 end
 
-let read_txn ?par t f =
-  Txn.read t.mgr (fun v -> f { Session.v = v; writable = false; par })
+let read_txn_exn ?par ?(cache = true) t f =
+  Txn.read t.mgr (fun v ->
+      let c = if cache then t.cache else None in
+      let epoch = Option.map Version.epoch (View.snapshot_version v) in
+      f { Session.v; writable = false; par; cache = c; epoch })
 
-let write_txn t f =
-  with_write t (fun v -> f { Session.v = v; writable = true; par = None })
+let read_txn ?par ?cache t f = capture (fun () -> read_txn_exn ?par ?cache t f)
 
-let read_txn_r ?par t f = capture (fun () -> read_txn ?par t f)
+let with_write t f =
+  let validate = Option.map Validate.checker t.schema in
+  Txn.with_write t.mgr ?validate f
 
-let write_txn_r t f = capture (fun () -> write_txn t f)
+let write_txn_exn t f =
+  with_write t (fun v ->
+      f { Session.v; writable = true; par = None; cache = None; epoch = None })
+
+let write_txn t f = capture (fun () -> write_txn_exn t f)
+
+(* ------------------------------------------ queries (implicit sessions) -- *)
+
+let query_exn ?par ?cache t src =
+  read_txn_exn ?par ?cache t (fun s -> Session.query_exn s src)
+
+let query ?par ?cache t src = capture (fun () -> query_exn ?par ?cache t src)
+
+let query_profiled_exn ?par ?cache t src =
+  read_txn_exn ?par ?cache t (fun s -> Session.query_profiled_exn s src)
+
+let query_profiled ?par ?cache t src =
+  capture (fun () -> query_profiled_exn ?par ?cache t src)
+
+let query_strings_exn ?par ?cache t src =
+  read_txn_exn ?par ?cache t (fun s -> Session.strings_exn s src)
+
+let query_strings ?par ?cache t src =
+  capture (fun () -> query_strings_exn ?par ?cache t src)
+
+let query_count_exn ?par ?cache t src =
+  read_txn_exn ?par ?cache t (fun s -> Session.count_exn s src)
+
+let query_count ?par ?cache t src =
+  capture (fun () -> query_count_exn ?par ?cache t src)
+
+let to_xml ?indent t = read t (fun v -> Ser.to_string ?indent v)
+
+(* --------------------------------------------------------------- updates -- *)
+
+let update_exn t src =
+  Obs.Span.with_ "db.update" (fun () ->
+      let cmds = Obs.Span.with_ "xupdate.parse" (fun () -> Xupdate.parse src) in
+      with_write t (fun v ->
+          Obs.Span.with_ "xupdate.apply" (fun () -> Xupdate.apply v cmds)))
+
+let update t src = capture (fun () -> update_exn t src)
 
 (* ----------------------------------------------------------- maintenance -- *)
 
@@ -261,6 +391,9 @@ let vacuum ?fill ?checkpoint_to t =
       "Db.vacuum: compaction invalidates the WAL; pass ~checkpoint_to"
   | (Some _ | None), _ -> ());
   Txn.vacuum ?fill t.mgr;
+  (* Compaction renumbers nodes and advanced the epoch: every cached result
+     is dead — drop them now rather than letting them age out. *)
+  Option.iter Qcache.clear t.cache;
   Option.iter (fun path -> checkpoint ~truncate_wal:true t path) checkpoint_to
 
 (* -------------------------------------------------------------- metrics -- *)

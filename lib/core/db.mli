@@ -8,12 +8,26 @@
     newest committed version and evaluates with no lock held, so readers
     never block a committing writer and vice versa.
 
-    Two calling conventions coexist:
-    - the {e result API} — {!Error.t}-returning variants ([query_r],
-      [update_r], [open_recovered_r], [read_txn]/[write_txn] with
-      {!Session}) for callers that want total functions;
-    - the original exception-raising entry points, kept thin and stable for
-      compatibility. *)
+    {b Calling convention.} The {e result API} is canonical: every
+    fallible entry point returns [('a, Error.t) result]. Each has a thin
+    raising shim with an [_exn] suffix for callers that prefer exceptions
+    (scripts, tests). The [_r] names from the transitional release are
+    gone — see the migration table in the README.
+
+    {b Sessions} ({!Session}) are the primary query surface: one pinned
+    read snapshot or one write transaction, as a handle. The top-level
+    [query*]/[update] conveniences each run in an implicit
+    single-statement session.
+
+    {b Caching.} A store created with [?cache] carries a two-tier
+    {!Qcache}: compiled plans keyed by query text, results keyed by
+    (query text, snapshot epoch). Read sessions consult it by default
+    (opt out per transaction with [~cache:false]); write sessions always
+    bypass it. Invalidation is free — commits advance the epoch, so stale
+    entries can never match a freshly pinned snapshot. The [XQDB_CACHE]
+    environment variable overrides the choice process-wide: [force] (or
+    [on]/[1]) enables a default-sized cache on stores created without one,
+    [off] (or [0]) disables caching entirely. *)
 
 type t
 
@@ -36,20 +50,34 @@ end
 
 (** {1 Lifecycle} *)
 
+type cache_config = {
+  entries : int;  (** result-entry bound *)
+  bytes : int;  (** approximate result-byte bound *)
+  plans : int;  (** compiled-plan bound *)
+}
+
+val cache_config :
+  ?entries:int -> ?bytes:int -> ?plans:int -> unit -> cache_config
+(** Defaults: 256 entries, 16 MiB, 128 plans. *)
+
+val default_cache : cache_config
+
 val create :
   ?page_bits:int ->
   ?fill:float ->
   ?wal_path:string ->
   ?schema:Validate.t ->
+  ?cache:cache_config ->
   Xml.Dom.t ->
   t
 (** Shred a document into a fresh store. When [wal_path] is given, every
     commit appends a WAL frame there. [schema] is validated at every
-    commit. *)
+    commit. [cache] enables the epoch-keyed query cache (subject to the
+    [XQDB_CACHE] override, see above). *)
 
 val of_xml :
   ?page_bits:int -> ?fill:float -> ?wal_path:string -> ?schema:Validate.t ->
-  string -> t
+  ?cache:cache_config -> string -> t
 (** [create] from XML text (whitespace-only text is stripped, as for
     benchmark documents). *)
 
@@ -64,16 +92,16 @@ val checkpoint : ?truncate_wal:bool -> t -> string -> unit
     frames by LSN). *)
 
 val open_recovered :
-  ?wal_path:string -> ?schema:Validate.t -> checkpoint:string -> unit -> t
+  ?wal_path:string -> ?schema:Validate.t -> ?cache:cache_config ->
+  checkpoint:string -> unit -> (t, Error.t) result
 (** Load a checkpoint, replay the intact WAL prefix, and continue logging to
-    [wal_path] (default: the same path). Returns the recovered store.
-    Raises [Failure] / [Sys_error] /
-    [Column.Persist.Dec.Corrupt]; prefer {!open_recovered_r}. *)
+    [wal_path] (default: the same path). Returns the recovered store. *)
 
-val open_recovered_r :
-  ?wal_path:string -> ?schema:Validate.t -> checkpoint:string -> unit ->
-  (t, Error.t) result
-(** Result-returning {!open_recovered}. *)
+val open_recovered_exn :
+  ?wal_path:string -> ?schema:Validate.t -> ?cache:cache_config ->
+  checkpoint:string -> unit -> t
+(** Raising {!open_recovered} ([Failure] / [Sys_error] /
+    [Column.Persist.Dec.Corrupt]). *)
 
 val store : t -> Schema_up.t
 
@@ -82,7 +110,11 @@ val manager : t -> Txn.manager
 val close : t -> unit
 (** Close the WAL channel (if any). *)
 
-(** {1 Sessions (result API)}
+val cache_stats : t -> Qcache.stats option
+(** Hit/miss/eviction/byte counters of this store's query cache ([None]
+    when caching is disabled). *)
+
+(** {1 Sessions}
 
     A session is one transaction — a pinned read snapshot or one write
     transaction — exposed as a handle with query/count/serialize (and, for
@@ -94,43 +126,54 @@ module E : module type of Engine.Make (View)
 module Session : sig
   type t
 
-  val query : t -> string -> E.item list
-  (** Evaluate an XPath inside the session's transaction. Raises on syntax
-      errors — see {!query_r}. *)
+  val query : t -> string -> (E.item list, Error.t) result
+  (** Evaluate an XPath inside the session's transaction. On a cached read
+      session, the result cache is consulted first (keyed by the pinned
+      snapshot's epoch) and misses are stored; concurrent readers of the
+      same (query, epoch) compute once. *)
 
-  val query_r : t -> string -> (E.item list, Error.t) result
+  val query_exn : t -> string -> E.item list
 
-  val query_profiled : t -> string -> E.item list * Profile.t
+  val query_profiled : t -> string -> (E.item list * Profile.t, Error.t) result
   (** Like {!query}, but also collect a per-step profile (plan kind,
-      partitions, cardinalities, timings, span trace). See
+      partitions, cardinalities, timings, span trace, cache hit/miss). See
       {!Db.query_profiled}. *)
 
-  val query_profiled_r : t -> string -> (E.item list * Profile.t, Error.t) result
+  val query_profiled_exn : t -> string -> E.item list * Profile.t
 
-  val count : t -> string -> int
+  val count : t -> string -> (int, Error.t) result
 
-  val strings : t -> string -> string list
+  val count_exn : t -> string -> int
+
+  val strings : t -> string -> (string list, Error.t) result
+  (** String values of the result items. *)
+
+  val strings_exn : t -> string -> string list
 
   val item_string : t -> E.item -> string
 
   val serialize : ?indent:bool -> t -> string
   (** Serialise the whole document as seen by this session. *)
 
-  val update : t -> string -> int
+  val update : t -> string -> (int, Error.t) result
   (** Apply an XUpdate document inside this {e write} session; returns the
-      number of affected targets. Raises [Invalid_argument] on a read
-      session, parse/apply exceptions otherwise — see {!update_r}. *)
+      number of affected targets. [Invalid_argument] (raised, not
+      captured) on a read session. *)
 
-  val update_r : t -> string -> (int, Error.t) result
+  val update_exn : t -> string -> int
 
   val writable : t -> bool
+
+  val cached : t -> bool
+  (** Whether this session consults the result cache (read session on a
+      cache-enabled store, not opted out). *)
 
   val view : t -> View.t
   (** Escape hatch to the underlying view (e.g. for {!Update} /
       {!Staircase} interop). *)
 end
 
-val read_txn : ?par:Par.t -> t -> (Session.t -> 'a) -> 'a
+val read_txn : ?par:Par.t -> ?cache:bool -> t -> (Session.t -> 'a) -> ('a, Error.t) result
 (** Run [f] in one read session: a pinned snapshot; every [Session.query]
     inside sees the same committed state, and no lock is held while [f]
     runs.
@@ -139,68 +182,78 @@ val read_txn : ?par:Par.t -> t -> (Session.t -> 'a) -> 'a
     pool (see {!Engine}): workers read the {e caller's} pinned snapshot from
     other domains, which is safe because version descriptors are immutable
     after capture and the pin is held for the whole of [f] (parallel batches
-    always complete inside [f]). Write sessions never parallelise. *)
+    always complete inside [f]). Write sessions never parallelise.
 
-val write_txn : t -> (Session.t -> 'a) -> 'a
+    [?cache] (default [true]) controls whether the session consults the
+    store's result cache; it is meaningless on a store without one. *)
+
+val read_txn_exn : ?par:Par.t -> ?cache:bool -> t -> (Session.t -> 'a) -> 'a
+
+val write_txn : t -> (Session.t -> 'a) -> ('a, Error.t) result
 (** Run [f] in one write session; commits when [f] returns, aborts on
-    exception (raises {!Txn.Aborted} like {!with_write}). *)
+    exception. Write sessions bypass the result cache entirely — their
+    own staged state is not a committed epoch. *)
 
-val read_txn_r : ?par:Par.t -> t -> (Session.t -> 'a) -> ('a, Error.t) result
+val write_txn_exn : t -> (Session.t -> 'a) -> 'a
+(** Raising {!write_txn} (raises {!Txn.Aborted} like {!with_write}). *)
 
-val write_txn_r : t -> (Session.t -> 'a) -> ('a, Error.t) result
-(** Result-returning variants: transaction failures land in [Error]. *)
+(** {1 Queries (implicit read session)} *)
 
-(** {1 Queries (read transactions)} *)
+val query : ?par:Par.t -> ?cache:bool -> t -> string -> (E.item list, Error.t) result
+(** Evaluate an XPath against a pinned snapshot (no lock held) — an
+    implicit single-statement {!read_txn}. With [?par], axis steps run
+    domain-parallel against the snapshot (same results). While the
+    slow-query log is armed ({!Profile.Slowlog.configure}), queries run
+    profiled so a threshold crossing captures a full profile. *)
 
-val query : ?par:Par.t -> t -> string -> E.item list
-(** Evaluate an XPath against a pinned snapshot (no lock held). With
-    [?par], axis steps run domain-parallel against the snapshot (same
-    results; see {!read_txn}). While the slow-query log is armed
-    ({!Profile.Slowlog.configure}), queries run profiled so a threshold
-    crossing captures a full profile. Raises
-    {!Xpath.Xpath_parser.Syntax_error} on bad input; prefer {!query_r}. *)
+val query_exn : ?par:Par.t -> ?cache:bool -> t -> string -> E.item list
+(** Raising {!query} ({!Xpath.Xpath_parser.Syntax_error} on bad input). *)
 
-val query_r : ?par:Par.t -> t -> string -> (E.item list, Error.t) result
-
-val query_profiled : ?par:Par.t -> t -> string -> E.item list * Profile.t
+val query_profiled :
+  ?par:Par.t -> ?cache:bool -> t -> string ->
+  (E.item list * Profile.t, Error.t) result
 (** Evaluate like {!query} and return a {!Profile.t} alongside the result:
     one record per axis step (chosen plan, partitions, context size, slots
-    scanned, items produced, duration) plus the query's span trace — render
-    with {!Profile.render_explain} / [render_json] / [render_chrome]. The
+    scanned, items produced, duration) plus the query's span trace and —
+    on cached stores — whether the result came from the cache. Render with
+    {!Profile.render_explain} / [render_json] / [render_chrome]. The
     profile is also offered to {!Profile.Slowlog}. Profiling only costs the
     per-step accounting; use {!query} for the zero-overhead path. *)
 
-val query_profiled_r :
-  ?par:Par.t -> t -> string -> (E.item list * Profile.t, Error.t) result
+val query_profiled_exn :
+  ?par:Par.t -> ?cache:bool -> t -> string -> E.item list * Profile.t
 
-val query_strings : ?par:Par.t -> t -> string -> string list
+val query_strings :
+  ?par:Par.t -> ?cache:bool -> t -> string -> (string list, Error.t) result
 
-val query_count : ?par:Par.t -> t -> string -> int
+val query_strings_exn : ?par:Par.t -> ?cache:bool -> t -> string -> string list
+
+val query_count : ?par:Par.t -> ?cache:bool -> t -> string -> (int, Error.t) result
+
+val query_count_exn : ?par:Par.t -> ?cache:bool -> t -> string -> int
 
 val to_xml : ?indent:bool -> t -> string
 (** Serialise the whole document. *)
 
 val read : t -> (View.t -> 'a) -> 'a
-(** Run read-only logic against a pinned snapshot view.
+(** Run read-only logic against a pinned snapshot {!View.t} — the raw
+    primitive {!read_txn} is built on. Prefer sessions; use this when you
+    need the view itself (e.g. {!Staircase} / {!Update} interop). *)
 
-    {b Deprecated} in favour of {!read_txn}, which hands out a {!Session.t}
-    instead of exposing the raw view. Kept for compatibility. *)
+(** {1 Updates (implicit write session)} *)
 
-(** {1 Updates (write transactions)} *)
-
-val update : t -> string -> int
+val update : t -> string -> (int, Error.t) result
 (** Parse and apply an XUpdate document in one write transaction; returns
-    the number of affected targets. Raises {!Txn.Aborted} on validation
-    failure or deadlock timeout, {!Xupdate.Apply_error} on bad targets;
-    prefer {!update_r}. *)
+    the number of affected targets. *)
 
-val update_r : t -> string -> (int, Error.t) result
+val update_exn : t -> string -> int
+(** Raising {!update} ({!Txn.Aborted} on validation failure or deadlock
+    timeout, {!Xupdate.Apply_error} on bad targets). *)
 
 val with_write : t -> (View.t -> 'a) -> 'a
-(** Run arbitrary update logic (via {!Update} / {!Xupdate}) in one write
-    transaction.
-
-    {b Deprecated} in favour of {!write_txn}. Kept for compatibility. *)
+(** Run arbitrary update logic (via {!Update} / {!Xupdate}) against the raw
+    staged {!View.t} in one write transaction — the primitive
+    {!write_txn} is built on. *)
 
 (** {1 Maintenance} *)
 
@@ -212,14 +265,16 @@ val vacuum : ?fill:float -> ?checkpoint_to:string -> t -> unit
     tuples, which invalidates WAL replay positions, so when a WAL is active
     a [checkpoint_to] path is required — the checkpoint is written
     immediately after compaction and the WAL is truncated (raises
-    [Invalid_argument] otherwise). *)
+    [Invalid_argument] otherwise). Advances the version epoch and drops
+    the query cache: compaction renumbers nodes, so pre-based cached
+    results must not survive it. *)
 
 (** {1 Observability}
 
     The metrics registry is process-global (see {!Obs}): instruments live in
     the subsystem modules ([txn.*], [mvcc.*], [lock.*], [wal.*],
-    [schema_up.*], [pagemap.*], [engine.*]), so these accessors report
-    activity across every store in the process. *)
+    [schema_up.*], [pagemap.*], [engine.*], [qcache.*]), so these accessors
+    report activity across every store in the process. *)
 
 val metrics : t -> Obs.snapshot
 

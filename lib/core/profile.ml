@@ -18,6 +18,10 @@ type step = {
   dur_s : float;
 }
 
+type cache_status = Hit | Miss
+
+let cache_name = function Hit -> "hit" | Miss -> "miss"
+
 type t = {
   query : string;
   started_at : float;
@@ -26,6 +30,9 @@ type t = {
   total_s : float;
   items : int;
   domains : int;
+  cache : cache_status option;
+      (* [None]: no result cache in play; [Some Hit]: served from the
+         epoch-keyed cache (steps are empty — nothing was evaluated) *)
   steps : step list;
   trace : Obs.Span.t option;
 }
@@ -52,6 +59,9 @@ let render_explain ?(timings = true) p =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "query: %s\n" p.query);
   Buffer.add_string b (Printf.sprintf "domains: %d\n" p.domains);
+  (match p.cache with
+  | None -> ()
+  | Some st -> Buffer.add_string b (Printf.sprintf "cache: %s\n" (cache_name st)));
   if timings then
     Buffer.add_string b
       (Printf.sprintf "parse: %.3fms  eval: %.3fms  total: %.3fms\n"
@@ -86,9 +96,12 @@ let step_json s =
 
 let render_json p =
   Printf.sprintf
-    {|{"query":"%s","started_at":%s,"parse_s":%s,"eval_s":%s,"total_s":%s,"items":%d,"domains":%d,"steps":[%s]}|}
+    {|{"query":"%s","started_at":%s,"parse_s":%s,"eval_s":%s,"total_s":%s,"items":%d,"domains":%d,%s"steps":[%s]}|}
     (esc p.query) (json_float p.started_at) (json_float p.parse_s)
     (json_float p.eval_s) (json_float p.total_s) p.items p.domains
+    (match p.cache with
+    | None -> ""
+    | Some st -> Printf.sprintf {|"cache":"%s",|} (cache_name st))
     (String.concat "," (List.map step_json p.steps))
 
 (* --- Chrome trace_event ------------------------------------------------- *)

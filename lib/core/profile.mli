@@ -24,6 +24,12 @@ type step = {
   dur_s : float;
 }
 
+type cache_status =
+  | Hit  (** served from the epoch-keyed result cache; [steps] is empty *)
+  | Miss  (** evaluated, then stored in the cache *)
+
+val cache_name : cache_status -> string
+
 type t = {
   query : string;
   started_at : float;  (** wall-clock start *)
@@ -32,6 +38,7 @@ type t = {
   total_s : float;
   items : int;  (** final result cardinality *)
   domains : int;  (** pool domains available (1 = sequential) *)
+  cache : cache_status option;  (** [None]: no result cache in play *)
   steps : step list;  (** in evaluation order *)
   trace : Obs.Span.t option;  (** the query's own span tree *)
 }

@@ -205,6 +205,13 @@ let commit_begin s =
   t0
 
 let commit_end s ~epoch t0 =
+  (* Failpoint: sits exactly at the epoch bump, still inside the odd-seq
+     window and (via the caller) inside the commit mutex. A delay armed here
+     stretches the window in which the base already carries the new state
+     but the new descriptor is not yet installed: readers pinning meanwhile
+     must get the OLD descriptor (old epoch, pre-image overlays) — which is
+     what keeps epoch-keyed result caching safe (test_qcache proves it). *)
+  Fault.hit "version.epoch_bump";
   let v = descriptor ~epoch ~seq:s.seq0 s.sbase in
   Mutex.lock s.mu;
   s.newest.next <- Some v;

@@ -76,6 +76,8 @@ let base v = v.b
 
 let staged_state v = v.st
 
+let snapshot_version v = v.snap
+
 (* ------------------------------------------------------------- geometry -- *)
 
 let page_bits v = Schema_up.page_bits v.b

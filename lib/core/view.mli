@@ -73,6 +73,11 @@ val base : t -> Schema_up.t
 val staged_state : t -> staged option
 (** [None] on a direct or snapshot view. *)
 
+val snapshot_version : t -> Version.t option
+(** The pinned version descriptor of a snapshot view ([None] on direct and
+    staged views). Its {!Version.epoch} identifies the committed state the
+    view reads — the key the result cache ({!Qcache}) is valid against. *)
+
 (** {1 The pre view (storage signature for in-view queries)} *)
 
 include Storage_intf.S with type t := t

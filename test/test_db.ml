@@ -62,11 +62,11 @@ let test_validate_failures () =
 
 let test_db_end_to_end () =
   let db = Db.of_xml ~page_bits:3 ~fill:0.75 (Xml.Xml_serialize.to_string Testsupport.small_doc) in
-  Alcotest.(check int) "three persons" 3 (Db.query_count db "//person");
+  Alcotest.(check int) "three persons" 3 (Db.query_count_exn db "//person");
   Alcotest.(check (list string)) "query strings" [ "Ada" ]
-    (Db.query_strings db "/site/people/person[1]/name/text()");
+    (Db.query_strings_exn db "/site/people/person[1]/name/text()");
   let n =
-    Db.update db
+    Db.update_exn db
       {|<xupdate:modifications>
           <xupdate:insert-after select="/site/people/person[1]">
             <person id="pX"><name>Between</name></person>
@@ -76,13 +76,13 @@ let test_db_end_to_end () =
   Alcotest.(check int) "one target" 1 n;
   Alcotest.(check (list string)) "order after update"
     [ "Ada"; "Between"; "Grace"; "Edsger" ]
-    (Db.query_strings db "/site/people/person/name");
+    (Db.query_strings_exn db "/site/people/person/name");
   check_integrity (Db.store db);
   (* to_xml reparses to an equivalent document *)
   let again = Db.of_xml (Db.to_xml db) in
   Alcotest.(check (list string)) "roundtrip through xml"
-    (Db.query_strings db "//person/@id")
-    (Db.query_strings again "//person/@id")
+    (Db.query_strings_exn db "//person/@id")
+    (Db.query_strings_exn again "//person/@id")
 
 let test_db_schema_enforced () =
   let schema =
@@ -90,17 +90,17 @@ let test_db_schema_enforced () =
   in
   let db = Db.create ~schema Testsupport.small_doc in
   (match
-     Db.update db
+     Db.update_exn db
        {|<xupdate:modifications>
            <xupdate:append select="/site/people"><junk/></xupdate:append>
          </xupdate:modifications>|}
    with
   | _ -> Alcotest.fail "expected Aborted"
   | exception Core.Txn.Aborted _ -> ());
-  Alcotest.(check int) "rolled back" 0 (Db.query_count db "//junk");
+  Alcotest.(check int) "rolled back" 0 (Db.query_count_exn db "//junk");
   (* a valid update still goes through *)
   let n =
-    Db.update db
+    Db.update_exn db
       {|<xupdate:modifications>
           <xupdate:append select="/site/people"><person id="ok"/></xupdate:append>
         </xupdate:modifications>|}
@@ -133,7 +133,7 @@ let test_db_vacuum () =
   in
   for i = 1 to 10 do
     let _ =
-      Db.update db
+      Db.update_exn db
         (Printf.sprintf
            {|<xupdate:modifications>
                <xupdate:append select="/site/people"><person id="v%d"/></xupdate:append>
@@ -164,7 +164,7 @@ let test_db_vacuum () =
   | None -> Alcotest.fail "handle lost");
   (* updates still work after vacuum *)
   let n =
-    Db.update db
+    Db.update_exn db
       {|<xupdate:modifications>
           <xupdate:append select="/site/people"><person id="post-vacuum"/></xupdate:append>
         </xupdate:modifications>|}
@@ -187,7 +187,7 @@ let test_db_vacuum_wal_guard () =
         (fun () ->
           Db.vacuum ~checkpoint_to:ck db;
           (* recovery from the new checkpoint gives the same document *)
-          let db2 = Db.open_recovered ~wal_path:tmp ~checkpoint:ck () in
+          let db2 = Db.open_recovered_exn ~wal_path:tmp ~checkpoint:ck () in
           Alcotest.(check string) "recovered equals" (Db.to_xml db) (Db.to_xml db2);
           Db.close db2);
       Db.close db)

@@ -134,7 +134,7 @@ let crash_child ~dir ~site ~policy ~action n =
     Fault.arm ~seed:1 site ~policy ~action;
     for j = 1 to n do
       ignore
-        (Core.Db.update_r db
+        (Core.Db.update db
            (Printf.sprintf
               {|<xupdate:modifications><xupdate:append select="/r"><i>n%d</i></xupdate:append></xupdate:modifications>|}
               j))
@@ -144,9 +144,9 @@ let crash_child ~dir ~site ~policy ~action n =
 
 let recovered_count dir =
   let ck = Filename.concat dir "store.ck" in
-  match Core.Db.open_recovered_r ~checkpoint:ck () with
+  match Core.Db.open_recovered ~checkpoint:ck () with
   | Error e -> Alcotest.failf "recovery failed: %s" (Core.Db.Error.to_string e)
-  | Ok db -> Core.Db.query_count db "/r/i"
+  | Ok db -> Core.Db.query_count_exn db "/r/i"
 
 let killed = Unix.WSIGNALED Sys.sigkill
 

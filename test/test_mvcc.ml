@@ -37,7 +37,7 @@ let pair_update =
     </xupdate:modifications>|}
 
 let rec update_retry ?(tries = 200) db src =
-  match Db.update_r db src with
+  match Db.update db src with
   | Ok n -> n
   | Error (Db.Error.Aborted _) when tries > 0 ->
     Thread.delay 0.001;
@@ -50,7 +50,7 @@ let rec update_retry ?(tries = 200) db src =
    that lands while it is pinned; a fresh snapshot sees the commit. *)
 let test_snapshot_stable_across_commit () =
   let db = Db.of_xml "<root><left></left><right></right></root>" in
-  Db.read_txn db (fun s ->
+  Db.read_txn_exn db (fun s ->
       let before = Session.serialize s in
       let writer =
         Thread.create (fun () -> ignore (update_retry db pair_update)) ()
@@ -59,9 +59,9 @@ let test_snapshot_stable_across_commit () =
       let after = Session.serialize s in
       Alcotest.(check string) "pinned snapshot unchanged" before after;
       Alcotest.(check int) "pinned snapshot sees no <l/>" 0
-        (Session.count s "/root/left/l"));
+        (Session.count_exn s "/root/left/l"));
   Alcotest.(check int) "fresh snapshot sees the commit" 1
-    (Db.query_count db "/root/left/l");
+    (Db.query_count_exn db "/root/left/l");
   check_integrity db
 
 (* Same property under QCheck: any prefix of commits, then a pin, then any
@@ -74,14 +74,14 @@ let prop_snapshot_frozen =
       for _ = 1 to before_n do
         ignore (update_retry db pair_update)
       done;
-      Db.read_txn db (fun s ->
+      Db.read_txn_exn db (fun s ->
           let frozen = Session.serialize s in
-          let cnt = Session.count s "/root/left/l" in
+          let cnt = Session.count_exn s "/root/left/l" in
           for _ = 1 to after_n do
             ignore (update_retry db pair_update)
           done;
           String.equal frozen (Session.serialize s)
-          && Session.count s "/root/left/l" = cnt
+          && Session.count_exn s "/root/left/l" = cnt
           && cnt = before_n))
 
 (* ------------------------------------------------------- lock-free reads -- *)
@@ -95,8 +95,8 @@ let test_reads_take_no_locks () =
   let before_dead = counter_value "lock.would_deadlock" [] in
   for _ = 1 to 50 do
     ignore (Db.query db "//l");
-    Db.read_txn db (fun s ->
-        ignore (Session.count s "/root/right/r");
+    Db.read_txn_exn db (fun s ->
+        ignore (Session.count_exn s "/root/right/r");
         ignore (Session.serialize s))
   done;
   Alcotest.(check int) "no global lock on read path" before_global
@@ -121,9 +121,9 @@ let test_concurrent_readers_writers () =
   let reader () =
     while not (Atomic.get stop) do
       (match
-         Db.read_txn_r db (fun s ->
-             let l = Session.count s "/root/left/l" in
-             let r = Session.count s "/root/right/r" in
+         Db.read_txn db (fun s ->
+             let l = Session.count_exn s "/root/left/l" in
+             let r = Session.count_exn s "/root/right/r" in
              if l <> r then Atomic.incr torn)
        with
       | Ok () -> Atomic.incr snapshots_checked
@@ -153,7 +153,7 @@ let test_concurrent_readers_writers () =
     (Atomic.get snapshots_checked > 0);
   (* 2 writers x commits_target pairs, one <l/> and one <r/> each *)
   Alcotest.(check int) "final invariant" (4 * commits_target)
-    (Db.query_count db "/root/left/l" + Db.query_count db "/root/right/r");
+    (Db.query_count_exn db "/root/left/l" + Db.query_count_exn db "/root/right/r");
   check_integrity db
 
 (* ------------------------------------------------- checkpoint + truncate -- *)
@@ -176,11 +176,11 @@ let test_checkpoint_truncates_wal () =
   ignore (update_retry db pair_update);
   let expect = Db.to_xml db in
   Db.close db;
-  (match Db.open_recovered_r ~wal_path:wal ~checkpoint:ckpt () with
+  (match Db.open_recovered ~wal_path:wal ~checkpoint:ckpt () with
   | Ok db2 ->
     Alcotest.(check string) "checkpoint + rotated wal recovers" expect
       (Db.to_xml db2);
-    Alcotest.(check int) "six pairs" 6 (Db.query_count db2 "/root/left/l");
+    Alcotest.(check int) "six pairs" 6 (Db.query_count_exn db2 "/root/left/l");
     Db.close db2
   | Error e -> Alcotest.failf "recover: %s" (Db.Error.to_string e));
   Sys.remove wal;
@@ -191,23 +191,23 @@ let test_checkpoint_truncates_wal () =
 
 let test_error_values () =
   let db = Db.of_xml "<root><a/></root>" in
-  (match Db.query_r db "///" with
+  (match Db.query db "///" with
   | Error (Db.Error.Parse { source = "xpath"; _ }) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected xpath Parse error");
-  (match Db.update_r db "<not-xupdate/>" with
+  (match Db.update db "<not-xupdate/>" with
   | Error (Db.Error.Parse { source = "xupdate"; _ }) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected xupdate Parse error");
   (match
-     Db.update_r db
+     Db.update db
        {|<xupdate:modifications><xupdate:remove select="/root"/></xupdate:modifications>|}
    with
   | Error (Db.Error.Apply _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected Apply error");
-  (match Db.open_recovered_r ~checkpoint:"/nonexistent/path.ckpt" () with
+  (match Db.open_recovered ~checkpoint:"/nonexistent/path.ckpt" () with
   | Error (Db.Error.Io _) -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected Io error");
   (* messages stay human-readable *)
-  (match Db.query_r db "///" with
+  (match Db.query db "///" with
   | Error e ->
     Alcotest.(check bool) "to_string mentions source" true
       (contains (Db.Error.to_string e) "xpath error")
@@ -216,28 +216,28 @@ let test_error_values () =
 let test_session_api () =
   let db = Db.of_xml "<root><a>one</a><a>two</a></root>" in
   (* one read session, several statements, one snapshot *)
-  Db.read_txn db (fun s ->
+  Db.read_txn_exn db (fun s ->
       Alcotest.(check bool) "read session" false (Session.writable s);
-      Alcotest.(check int) "count" 2 (Session.count s "/root/a");
+      Alcotest.(check int) "count" 2 (Session.count_exn s "/root/a");
       Alcotest.(check (list string)) "strings" [ "one"; "two" ]
-        (Session.strings s "/root/a");
-      match Session.update_r s "<xupdate:modifications/>" with
+        (Session.strings_exn s "/root/a");
+      match Session.update s "<xupdate:modifications/>" with
       | Error _ | (exception Invalid_argument _) -> ()
       | Ok _ -> Alcotest.fail "update on read session must not commit");
   (* a write session sees its own uncommitted work *)
   let seen_inside =
-    Db.write_txn db (fun s ->
+    Db.write_txn_exn db (fun s ->
         Alcotest.(check bool) "write session" true (Session.writable s);
         ignore
           (Session.update s
              {|<xupdate:modifications><xupdate:append select="/root"><b/></xupdate:append></xupdate:modifications>|});
-        Session.count s "/root/b")
+        Session.count_exn s "/root/b")
   in
   Alcotest.(check int) "own write visible in-session" 1 seen_inside;
-  Alcotest.(check int) "committed" 1 (Db.query_count db "/root/b");
+  Alcotest.(check int) "committed" 1 (Db.query_count_exn db "/root/b");
   (* an aborted write session leaves no trace *)
   (match
-     Db.write_txn_r db (fun s ->
+     Db.write_txn db (fun s ->
          ignore
            (Session.update s
               {|<xupdate:modifications><xupdate:append select="/root"><c/></xupdate:append></xupdate:modifications>|});
@@ -247,14 +247,14 @@ let test_session_api () =
   | Ok _ -> Alcotest.fail "expected the session to fail"
   | Error e -> Alcotest.failf "unexpected: %s" (Db.Error.to_string e));
   Alcotest.(check int) "aborted write rolled back" 0
-    (Db.query_count db "/root/c");
+    (Db.query_count_exn db "/root/c");
   check_integrity db
 
 (* mvcc instruments are registered and move under load *)
 let test_mvcc_metrics () =
   let db = Db.of_xml "<root><left></left><right></right></root>" in
   let pins0 = counter_value "mvcc.pins" [] in
-  Db.read_txn db (fun s -> ignore (Session.count s "/root/left"));
+  Db.read_txn_exn db (fun s -> ignore (Session.count_exn s "/root/left"));
   ignore (update_retry db pair_update);
   Alcotest.(check bool) "mvcc.pins counts" true (counter_value "mvcc.pins" [] > pins0);
   let rendered = Db.metrics_table db in

@@ -399,6 +399,93 @@ let prop_query_after_update =
     ~name:"queries after random updates: engine (seq+par) = oracle" ~count:200
     ~print:print_qau_case gen_qau_case check_qau
 
+(* --------------------------------------- cached queries vs the oracle -- *)
+
+(* The full Db stack with the epoch-keyed result cache on, sized tiny
+   (2 entries) so interleaved rounds constantly evict: each round repeats a
+   query from a small shared pool twice (second run served from cache inside
+   the same pinned session), applies a random update batch to both sides,
+   and re-runs the query — a stale cached result surviving the commit, or a
+   cache entry outliving an eviction/re-insert cycle, breaks equivalence
+   immediately. Queries go through the string surface, so both sides
+   evaluate the re-parsed path; unparseable renderings skip the round. *)
+module Db = Core.Db
+
+let gen_cached_case =
+  let open QCheck2.Gen in
+  let* d = Testsupport.gen_doc in
+  let* pool_paths = list_repeat 4 (gen_path 2) in
+  let* rounds = list_size (int_range 2 5) (pair gen_cmds (int_bound 3)) in
+  return (d, pool_paths, rounds)
+
+let print_cached_case (d, pool_paths, rounds) =
+  Printf.sprintf "paths: %s\nrounds: %s\ndoc: %s"
+    (String.concat " | " (List.map to_string pool_paths))
+    (String.concat " ; "
+       (List.map
+          (fun (cmds, pi) ->
+            Printf.sprintf "q%d after {%s}" pi
+              (String.concat " ; " (List.map show_command cmds)))
+          rounds))
+    (Testsupport.print_doc d)
+
+let check_cached (d, pool_paths, rounds) =
+  let db =
+    Db.create ~page_bits:3 ~fill:0.7
+      ~cache:(Db.cache_config ~entries:2 ~bytes:2048 ()) d
+  in
+  let od = ref d in
+  let check_round p src =
+    let e1, e2 =
+      Db.read_txn_exn db (fun s ->
+          let v = Db.Session.view s in
+          let a = norm_engine v (Db.Session.query_exn s src) in
+          let b = norm_engine v (Db.Session.query_exn s src) in
+          (a, b))
+    in
+    let oracle = norm_oracle !od (O.eval !od p) in
+    if e1 <> oracle then
+      QCheck2.Test.fail_reportf "cached: engine [%s] oracle [%s] (%s)"
+        (show_norms e1) (show_norms oracle) src
+    else if e2 <> e1 then
+      QCheck2.Test.fail_reportf "cached: repeat [%s] differs from first [%s] (%s)"
+        (show_norms e2) (show_norms e1) src
+    else true
+  in
+  List.for_all
+    (fun (cmds, pi) ->
+      let p = List.nth pool_paths pi in
+      let src = to_string p in
+      match Xpath.Xpath_parser.parse src with
+      | exception _ -> true
+      | p ->
+        check_round p src
+        && (match
+              ( Db.write_txn db (fun s ->
+                    Xupdate.apply (Db.Session.view s) cmds),
+                apply_oracle !od cmds )
+            with
+           | Ok en, Ok (od', onn) ->
+             od := od';
+             en = onn
+             || QCheck2.Test.fail_reportf
+                  "cached: affected counts differ: engine %d, oracle %d" en onn
+           | Error _, Error _ -> true
+           | Ok _, Error m ->
+             QCheck2.Test.fail_reportf
+               "cached: oracle failed (%s), engine succeeded" m
+           | Error e, Ok _ ->
+             QCheck2.Test.fail_reportf
+               "cached: engine failed (%s), oracle succeeded"
+               (Db.Error.to_string e))
+        && check_round p src)
+    rounds
+
+let prop_cached =
+  QCheck2.Test.make
+    ~name:"interleaved updates + repeated queries: cached Db = oracle"
+    ~count:150 ~print:print_cached_case gen_cached_case check_cached
+
 let () =
   Alcotest.run "oracle"
     [ ( "queries",
@@ -406,5 +493,6 @@ let () =
           Testsupport.qcheck_case prop_query_par ] );
       ( "updates",
         [ Testsupport.qcheck_case prop_update;
-          Testsupport.qcheck_case prop_query_after_update ] )
+          Testsupport.qcheck_case prop_query_after_update ] );
+      ("cache", [ Testsupport.qcheck_case prop_cached ])
     ]

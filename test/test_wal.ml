@@ -131,7 +131,7 @@ let test_checkpoint_recover_cycle () =
       let db =
         Core.Db.create ~page_bits:3 ~fill:0.75 ~wal_path Testsupport.small_doc
       in
-      let _ = Core.Db.update db
+      let _ = Core.Db.update_exn db
           {|<xupdate:modifications>
               <xupdate:append select="/site/people">
                 <person id="p9"><name>Barbara</name></person>
@@ -140,7 +140,7 @@ let test_checkpoint_recover_cycle () =
       in
       Core.Db.checkpoint db ck;
       (* post-checkpoint commits live only in the WAL *)
-      let _ = Core.Db.update db
+      let _ = Core.Db.update_exn db
           {|<xupdate:modifications>
               <xupdate:remove select="/site/items/item[2]"/>
             </xupdate:modifications>|}
@@ -148,11 +148,11 @@ let test_checkpoint_recover_cycle () =
       let expected = Core.Db.to_xml db in
       Core.Db.close db;
       (* crash: reopen from checkpoint + WAL *)
-      let db2 = Core.Db.open_recovered ~wal_path ~checkpoint:ck () in
+      let db2 = Core.Db.open_recovered_exn ~wal_path ~checkpoint:ck () in
       check_integrity (Core.Db.store db2);
       Alcotest.(check string) "document recovered" expected (Core.Db.to_xml db2);
       (* the recovered store accepts new transactions *)
-      let n = Core.Db.update db2
+      let n = Core.Db.update_exn db2
           {|<xupdate:modifications>
               <xupdate:append select="/site/people"><person/></xupdate:append>
             </xupdate:modifications>|}
