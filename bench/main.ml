@@ -13,6 +13,9 @@
                   (writes BENCH_parallel.json; 1-domain overhead is gated)
      cache        epoch-keyed query cache: repeat-query hit speedup and
                   miss-path overhead (writes BENCH_cache.json; both gated)
+     server       TCP server under 1/4/16 concurrent clients: throughput,
+                  p50/p99 latency, SIGTERM drain + recovery (writes
+                  BENCH_server.json; error count and p99 are gated)
      ordpath      variable-length labels degenerate; fixed keys do not
      rdbms        positional (void) access vs a B-tree-indexed SQL host
      storage      the ~25% space overhead of the updateable schema
@@ -946,6 +949,207 @@ let run_cache ~scale ~quota =
         st.Core.Qcache.evictions st.Core.Qcache.entries st.Core.Qcache.bytes);
   print_endline "results written to BENCH_cache.json"
 
+(* ---------------------------------------------------------------- server -- *)
+
+(* Network server under concurrent clients: throughput and p50/p99 request
+   latency at 1/4/16 connections, then a SIGTERM mid-load to verify the
+   graceful drain (exit 0, checkpoint + WAL recover cleanly).
+
+   The server runs in a forked child so the SIGTERM path is the real one.
+   Forking is only legal before any domain has been spawned, so this
+   experiment MUST run before every pool-using experiment (it is dispatched
+   first in main below; keep it that way). *)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+  end
+
+let run_server ~duration =
+  header "server: concurrent TCP clients, throughput + latency + drain";
+  let dir = Filename.temp_file "bench_server" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let ck = Filename.concat dir "server.ck" in
+  let wal = Filename.concat dir "server.wal" in
+  let port_r, port_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    (* child: the server process, killed by SIGTERM at the end *)
+    Unix.close port_r;
+    let db =
+      Core.Db.create ~page_bits:10 ~fill:0.8 ~wal_path:wal
+        ~cache:Core.Db.default_cache (wide_doc 20_000)
+    in
+    let config =
+      { Server.default_config with
+        Server.checkpoint_to = Some ck;
+        max_connections = 64;
+        request_timeout_s = 30.0 }
+    in
+    let srv = Server.start ~config db in
+    let oc = Unix.out_channel_of_descr port_w in
+    Printf.fprintf oc "%d\n%!" (Server.port srv);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Server.stop srv));
+    Server.wait srv;
+    Core.Db.close db;
+    Unix._exit 0
+  | child ->
+    Unix.close port_w;
+    let port =
+      let ic = Unix.in_channel_of_descr port_r in
+      let p = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      p
+    in
+    let connect () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      fd
+    in
+    (* read-mostly mix: distinct XPaths so both cache hits and misses are on
+       the wire, plus a PING for the floor *)
+    let mix =
+      [| Server.Protocol.Query "/root/section3/entry";
+         Server.Protocol.Count "//entry";
+         Server.Protocol.Query "/root/section1/entry[@id=\"7\"]";
+         Server.Protocol.Ping;
+         Server.Protocol.Query "/root/section2/entry" |]
+    in
+    let proto_errors = Atomic.make 0 in
+    let load ~clients ~secs ~requests =
+      let lats_mu = Mutex.create () in
+      let lats = ref [] in
+      let stopf = Atomic.make false in
+      let thread k () =
+        let fd = connect () in
+        let mine = ref [] in
+        let i = ref k in
+        (try
+           while not (Atomic.get stopf) do
+             let req = requests.(!i mod Array.length requests) in
+             incr i;
+             let t0 = Unix.gettimeofday () in
+             match Server.Protocol.request fd req with
+             | Ok (Server.Protocol.Ok _) ->
+               mine := (Unix.gettimeofday () -. t0) :: !mine
+             | Ok (Server.Protocol.Err _) | Error _ ->
+               Atomic.incr proto_errors
+           done
+         with Unix.Unix_error _ -> Atomic.incr proto_errors);
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Mutex.lock lats_mu;
+        lats := !mine @ !lats;
+        Mutex.unlock lats_mu
+      in
+      let ts = List.init clients (fun k -> Thread.create (thread k) ()) in
+      Thread.delay secs;
+      Atomic.set stopf true;
+      List.iter Thread.join ts;
+      Array.of_list !lats
+    in
+    Printf.printf "%8s | %12s | %10s %10s | %8s\n" "clients" "requests/s"
+      "p50 ms" "p99 ms" "errors";
+    let rows =
+      List.map
+        (fun clients ->
+          let before = Atomic.get proto_errors in
+          let lats = load ~clients ~secs:duration ~requests:mix in
+          let errs = Atomic.get proto_errors - before in
+          let rps = float_of_int (Array.length lats) /. duration in
+          let p50 = 1000.0 *. percentile lats 0.5 in
+          let p99 = 1000.0 *. percentile lats 0.99 in
+          Printf.printf "%8d | %12.0f | %10.3f %10.3f | %8d\n%!" clients rps
+            p50 p99 errs;
+          (clients, rps, p50, p99, Array.length lats, errs))
+        [ 1; 4; 16 ]
+    in
+    (* SIGTERM mid-load with writers in flight: the drain must answer (or
+       cleanly cut) every client, checkpoint, and exit 0. Client-side errors
+       here are expected (connections die mid-request) and not gated. *)
+    let drain_mix =
+      [| Server.Protocol.Update
+           "<xupdate:modifications><xupdate:append \
+            select=\"/root/section0\"><entry \
+            id=\"bench\">x</entry></xupdate:append></xupdate:modifications>";
+         Server.Protocol.Query "/root/section4/entry" |]
+    in
+    let killer =
+      Thread.create
+        (fun () ->
+          Thread.delay (duration /. 2.0);
+          Unix.kill child Sys.sigterm)
+        ()
+    in
+    let (_ : float array) =
+      load ~clients:4 ~secs:duration ~requests:drain_mix
+    in
+    Thread.join killer;
+    let _, status = Unix.waitpid [] child in
+    let exit_code = match status with Unix.WEXITED n -> n | _ -> 255 in
+    let recovered, integrity =
+      match Core.Db.open_recovered ~wal_path:wal ~checkpoint:ck () with
+      | Error e -> (false, Core.Db.Error.to_string e)
+      | Ok db -> (
+        match Core.Schema_up.check_integrity (Core.Db.store db) with
+        | Ok () -> (true, "OK")
+        | Error m -> (false, m))
+    in
+    Printf.printf
+      "drain: server exit %d, recovery %s (integrity %s)\n" exit_code
+      (if recovered then "OK" else "FAILED")
+      integrity;
+    let steady_errors =
+      List.fold_left (fun acc (_, _, _, _, _, e) -> acc + e) 0 rows
+    in
+    let p99_16 =
+      List.fold_left
+        (fun acc (c, _, _, p99, _, _) -> if c = 16 then p99 else acc)
+        Float.nan rows
+    in
+    (* the drain must also be clean for the gate to pass: fold failures in
+       as synthetic protocol errors so one scalar gates the experiment *)
+    let gate_errors =
+      steady_errors
+      + (if exit_code = 0 then 0 else 1)
+      + if recovered then 0 else 1
+    in
+    record_gate "server_proto_errors" (float_of_int gate_errors);
+    record_gate "server_p99_ms_16c" p99_16;
+    let oc = open_out "BENCH_server.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\n  \"experiment\": \"server\",\n  \"duration_s\": %g,\n  \
+           \"rows\": [" duration;
+        List.iteri
+          (fun i (clients, rps, p50, p99, n, errs) ->
+            Printf.fprintf oc
+              "%s\n    { \"clients\": %d, \"throughput_rps\": %.1f, \
+               \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"requests\": %d, \
+               \"errors\": %d }"
+              (if i = 0 then "" else ",")
+              clients rps p50 p99 n errs)
+          rows;
+        Printf.fprintf oc
+          "\n  ],\n  \"drain\": { \"exit_code\": %d, \"recovered\": %b, \
+           \"integrity\": \"%s\" },\n  \"proto_errors\": %d\n}\n"
+          exit_code recovered (Obs.json_escape integrity) steady_errors);
+    print_endline "results written to BENCH_server.json";
+    (* keep the temp dir only when something went wrong, for post-mortem *)
+    if gate_errors = 0 then begin
+      List.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Array.to_list (Sys.readdir dir));
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+    else Printf.printf "server artifacts kept in %s\n" dir
+
 (* -------------------------------------------------------------- baseline -- *)
 
 (* bench/baseline.json is a flat {"gate": number} object; every gate is a
@@ -1032,9 +1236,12 @@ let () =
         "gate file: fail (exit 1) when a measured gate exceeds baseline by >20%" ) ]
   in
   Arg.parse spec (fun x -> experiments := x :: !experiments)
-    "usage: main.exe [fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|cache|ordpath|storage|all]*";
+    "usage: main.exe [server|fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|cache|ordpath|storage|all]*";
   let chosen = match !experiments with [] -> [ "all" ] | l -> List.rev l in
   let want name = List.mem name chosen || List.mem "all" chosen in
+  (* server forks its child process; fork is illegal once a domain exists,
+     so it must run before every pool-using experiment *)
+  if want "server" then run_server ~duration:!duration;
   if want "fig9" then run_fig9 ~scales:!scales ~quota:!quota;
   if want "fig9-xquery" then
     run_fig9_xquery ~scale:0.005 ~quota:!quota;

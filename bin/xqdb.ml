@@ -1117,6 +1117,207 @@ let torture_cmd =
     Term.(
       const run $ iters $ seed $ ops $ pb $ site $ action $ only $ artifacts $ keep)
 
+(* ------------------------------------------------------------------ serve *)
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port; the bound \
+                port is printed either way).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Bind address.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int Server.default_config.Server.max_connections
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Live-connection cap; connections beyond it receive one \
+                $(b,ERR busy) frame and are closed.")
+  in
+  let max_frame =
+    Arg.(
+      value & opt int Server.default_config.Server.max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request frame.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-request wall budget; overruns are answered $(b,ERR \
+                timeout) and the connection is dropped. 0 disables.")
+  in
+  let write_deadline_ms =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "write-deadline-ms" ] ~docv:"MS"
+          ~doc:"Drop a client that stops draining its socket for this long \
+                (SO_SNDTIMEO). 0 disables.")
+  in
+  let drain_grace_ms =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:"On SIGTERM/SIGINT, how long in-flight requests may run on \
+                before their connections are cut.")
+  in
+  let wal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"WAL"
+          ~doc:"Append commit records to this write-ahead log file.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"CK"
+          ~doc:"Checkpoint target: written once on startup and again (with \
+                the WAL truncated) after a graceful drain — so a crash while \
+                serving recovers from CK + WAL.")
+  in
+  let slow_log =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slow-log" ] ~docv:"MS"
+          ~doc:"Log queries slower than $(docv) milliseconds (printed to \
+                stderr on shutdown).")
+  in
+  let run path port host max_conns max_frame timeout_ms write_deadline_ms
+      drain_grace_ms wal checkpoint slow_log domains cache cache_size page_bits
+      fill =
+    protect_parse (fun () ->
+        let db =
+          load ?wal_path:wal ?cache:(cache_cfg cache cache_size) ~page_bits
+            ~fill path
+        in
+        Option.iter
+          (fun ms -> Core.Profile.Slowlog.configure ~threshold_s:(ms /. 1000.) ())
+          slow_log;
+        let config =
+          { Server.host;
+            port;
+            max_connections = max_conns;
+            max_frame_bytes = max_frame;
+            request_timeout_s = timeout_ms /. 1000.;
+            write_deadline_s = write_deadline_ms /. 1000.;
+            drain_grace_s = drain_grace_ms /. 1000.;
+            checkpoint_to = checkpoint }
+        in
+        with_domains domains @@ fun par ->
+        let srv = Server.start ~config ?par db in
+        (* flushed so spawning tests/benches can read the ephemeral port *)
+        Printf.printf "listening on %s:%d\n%!" host (Server.port srv);
+        let on_signal _ = Server.stop srv in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Server.wait srv;
+        (match slow_log with
+        | None -> ()
+        | Some ms ->
+          List.iter
+            (fun p ->
+              Printf.eprintf "slow: %9.3fms  %s\n" (1000. *. p.Core.Profile.total_s)
+                p.Core.Profile.query)
+            (Core.Profile.Slowlog.entries ());
+          ignore ms);
+        Core.Db.close db;
+        0)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Serve a document over TCP: concurrent sessions with \
+         snapshot-isolated reads and serialized writes, length-prefixed text \
+         frames (see PROTOCOL.md). SIGTERM drains gracefully: stop \
+         accepting, finish in-flight requests, checkpoint, exit 0."
+  in
+  Cmd.v info
+    Term.(
+      const run $ doc_arg $ port $ host $ max_conns $ max_frame $ timeout_ms
+      $ write_deadline_ms $ drain_grace_ms $ wal $ checkpoint $ slow_log
+      $ domains_arg $ cache_flag $ cache_size_arg $ page_bits $ fill)
+
+(* ----------------------------------------------------------------- client *)
+
+let client_cmd =
+  let verb =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"VERB"
+          ~doc:"PING, QUERY, COUNT, EXPLAIN, PROFILE, UPDATE, METRICS, CACHE \
+                or QUIT.")
+  in
+  let arg = Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG") in
+  let port =
+    Arg.(required & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT"
+           ~doc:"Server port.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR")
+  in
+  let body_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Read the UPDATE body from this file ($(b,-) = stdin).")
+  in
+  let run verb arg port host body_file =
+    let body =
+      match body_file with
+      | Some "-" -> Some (In_channel.input_all stdin)
+      | Some f -> Some (read_file f)
+      | None -> None
+    in
+    let payload =
+      match (String.uppercase_ascii verb, arg, body) with
+      | "UPDATE", _, Some b -> "UPDATE\n" ^ b
+      | "UPDATE", Some inline, None -> "UPDATE\n" ^ inline
+      | v, Some a, _ -> v ^ " " ^ a
+      | v, None, _ -> v
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "connect %s:%d: %s\n" host port (Unix.error_message e);
+          1
+        | () -> (
+          Server.Protocol.write_frame fd payload;
+          match
+            Server.Protocol.read_frame
+              ~max_bytes:Server.Protocol.client_max_response_bytes fd
+          with
+          | Error e ->
+            Printf.eprintf "%s\n" (Server.Protocol.read_error_text e);
+            1
+          | Ok frame -> (
+            match Server.Protocol.parse_response frame with
+            | Error msg ->
+              Printf.eprintf "bad response: %s\n" msg;
+              1
+            | Ok (Server.Protocol.Ok out) ->
+              if out <> "" then print_endline out;
+              0
+            | Ok (Server.Protocol.Err { code; msg }) ->
+              Printf.eprintf "ERR %s: %s\n" code msg;
+              1)))
+  in
+  let info =
+    Cmd.info "client"
+      ~doc:
+        "Send one request to a running $(b,xqdb serve) and print the \
+         response (exit 0 on OK, 1 on ERR)."
+  in
+  Cmd.v info Term.(const run $ verb $ arg $ port $ host $ body_file)
+
 let () =
   (* Manual fault injection for any subcommand, e.g.
      XQDB_FAILPOINTS='wal.append.after=crash@hit:3' xqdb update --wal ... *)
@@ -1136,4 +1337,4 @@ let () =
                      [ query_cmd; explain_cmd; profile_cmd; xquery_cmd;
                        update_cmd; stats_cmd; xmark_cmd; metrics_cmd;
                        checkpoint_cmd; recover_cmd; concurrent_cmd;
-                       torture_cmd ]))
+                       torture_cmd; serve_cmd; client_cmd ]))

@@ -23,16 +23,15 @@ let m_bytes = Obs.gauge ~help:"approximate resident result bytes (all caches)" "
 
 let m_entries = Obs.gauge ~help:"resident result entries (all caches)" "qcache.entries"
 
-(* Gauges aggregate across caches: each cache tracks its own contribution
-   and publishes deltas. *)
-let g_bytes = Atomic.make 0
-
-let g_entries = Atomic.make 0
-
+(* Gauges aggregate across caches: each cache publishes deltas straight into
+   the gauge with the atomic [Obs.gauge_add]. The earlier scheme — fetch-add
+   a local atomic, then [Obs.set] the gauge to the new total — let two racing
+   publishers land their [set]s out of order and park the gauge on a stale
+   value until the next delta (found while auditing instrument updates for
+   the server's concurrent sessions). *)
 let publish_delta ~bytes ~entries =
-  if bytes <> 0 then Obs.set m_bytes (float_of_int (bytes + Atomic.fetch_and_add g_bytes bytes));
-  if entries <> 0 then
-    Obs.set m_entries (float_of_int (entries + Atomic.fetch_and_add g_entries entries))
+  if bytes <> 0 then Obs.gauge_add m_bytes (float_of_int bytes);
+  if entries <> 0 then Obs.gauge_add m_entries (float_of_int entries)
 
 (* ------------------------------------------------------------ LRU plumbing -- *)
 

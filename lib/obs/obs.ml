@@ -57,6 +57,8 @@ let value c = Atomic.get c.c
 
 let set g x = Atomic.set g.g x
 
+let gauge_add g x = atomic_add_float g.g x
+
 let gauge_value g = Atomic.get g.g
 
 (* Smallest i with value <= base * 2^i, clamped to [0, nbuckets-1]; O(1) via

@@ -39,6 +39,13 @@ val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
 
 val set : gauge -> float -> unit
 
+val gauge_add : gauge -> float -> unit
+(** Atomically add a (possibly negative) delta to a gauge — the only safe way
+    to maintain a shared up/down quantity (live connections, resident bytes)
+    from concurrent threads. A read-modify-[set] sequence is not: two racing
+    writers can publish their deltas out of order and park the gauge on a
+    stale value forever. *)
+
 val gauge_value : gauge -> float
 
 val histogram :

@@ -1,0 +1,94 @@
+(** Concurrent TCP front-end over {!Core.Db}: one thread per connection,
+    length-prefixed {!Protocol} frames, snapshot-isolated reads, serialized
+    writes.
+
+    {b Connection lifecycle.} The accept loop admits a connection when the
+    live count is below [max_connections] (beyond that the connection is
+    {e shed}: it receives one [ERR busy] frame and is closed — the listen
+    backlog never silently queues work the server will not do). Each admitted
+    connection is served by a dedicated thread that reads one request frame
+    at a time. Every read request runs in its own {!Core.Db.read_txn} — a
+    snapshot pinned for exactly one request, so long-lived connections never
+    hold back the vacuum or observe stale epochs — optionally evaluated on a
+    shared {!Core.Par} pool and through the store's epoch-keyed result
+    cache. [UPDATE] frames go through {!Core.Db.update}, which serializes
+    them on the store's single write transaction.
+
+    {b Robustness.} Malformed or oversized frames earn an [ERR] response
+    (when the stream still permits one) and a connection close — never a
+    process exit; [SIGPIPE] is ignored process-wide on [start]. A request
+    running longer than [request_timeout_s] is answered [ERR timeout] by a
+    watchdog thread and its connection is shut down; the worker thread
+    discards its late result. Clients that stop draining their socket hit
+    the [write_deadline_s] send timeout and are dropped. On {!stop} (or
+    SIGTERM/SIGINT under {!run}) the server {e drains}: the listener closes,
+    idle connections are shut down, in-flight requests get up to
+    [drain_grace_s] to finish and flush their responses, then — after the
+    last writer is done — the store is checkpointed (see DESIGN.md for the
+    ordering argument) and control returns.
+
+    {b Observability.} [server.*] instruments: [connections] (live gauge),
+    [accepted]/[shed]/[requests{verb=...}]/[errors{code=...}]/
+    [frames_rejected]/[timeouts]/[slow_client_drops] counters,
+    [bytes_in]/[bytes_out], and the [request_time] histogram. The [METRICS]
+    verb renders the whole registry as Prometheus text over the wire.
+    Queries flow through the ordinary {!Core.Db} session path, so the
+    slow-query log ({!Core.Profile.Slowlog}), span traces and engine
+    metrics all see server traffic unchanged. *)
+
+module Protocol = Protocol
+(** Re-exported wire protocol (this module is the library root, so
+    [Protocol] is only reachable through it). *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (read it back with {!port}) *)
+  max_connections : int;  (** live-connection cap; excess is shed *)
+  max_frame_bytes : int;  (** request frames above this are rejected *)
+  request_timeout_s : float;  (** per-request wall budget; 0 = unlimited *)
+  write_deadline_s : float;
+      (** [SO_SNDTIMEO] on every connection: a peer that stops reading for
+          this long is dropped; 0 = never *)
+  drain_grace_s : float;  (** max wait for in-flight requests on drain *)
+  checkpoint_to : string option;
+      (** checkpoint target: written once on [start] (so a crash while
+          serving recovers from checkpoint + WAL) and again — with the WAL
+          truncated — at the end of a graceful drain *)
+}
+
+val default_config : config
+(** [{ host = "127.0.0.1"; port = 0; max_connections = 64;
+      max_frame_bytes = 4 MiB; request_timeout_s = 30.; write_deadline_s
+      = 10.; drain_grace_s = 5.; checkpoint_to = None }] *)
+
+type t
+
+val start : ?config:config -> ?par:Core.Par.t -> Core.Db.t -> t
+(** Bind, write the initial checkpoint (if configured), and spawn the
+    accept loop plus the timeout watchdog. Returns immediately; the server
+    accepts until {!stop}. [par]: evaluate read requests on this shared
+    domain pool. Raises [Unix.Unix_error] when the address cannot be
+    bound. *)
+
+val port : t -> int
+(** The bound port (after [port = 0] resolution). *)
+
+val stop : t -> unit
+(** Initiate drain; returns immediately. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the drain (including the final checkpoint) has completed.
+    [stop] + [wait] from the serving thread of {!run} is the programmatic
+    equivalent of SIGTERM. *)
+
+val run : ?config:config -> ?par:Core.Par.t -> Core.Db.t -> unit
+(** [start], install SIGTERM/SIGINT handlers that trigger the drain, and
+    block until it completes — the body of [xqdb serve]. *)
+
+(** {1 Testing hooks} *)
+
+val failpoint_site : string
+(** Name of the {!Fault} site evaluated once per request, after the frame
+    is parsed and before it executes (["server.request"]) — arm it with
+    [Delay] to make requests slow (timeout tests) or [Crash] to kill the
+    process mid-serve (crash-recovery tests). *)

@@ -56,6 +56,25 @@ let test_gauge () =
   Obs.set g 0.25;
   Alcotest.(check (float 1e-9)) "overwrite" 0.25 (Obs.gauge_value g)
 
+(* gauge_add must be a true atomic add: +1/-1 from racing threads lands on
+   exactly zero, where a read-modify-set scheme loses deltas. *)
+let test_gauge_add_atomicity () =
+  let g = Obs.gauge "test.gauge_updown" in
+  Obs.set g 0.0;
+  let per = 20_000 in
+  let bump delta () =
+    for _ = 1 to per do
+      Obs.gauge_add g delta
+    done
+  in
+  let threads =
+    List.concat
+      [ List.init 4 (fun _ -> Thread.create (bump 1.0) ());
+        List.init 4 (fun _ -> Thread.create (bump (-1.0)) ()) ]
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check (float 1e-9)) "balanced ups and downs" 0.0 (Obs.gauge_value g)
+
 let test_labels_distinguish () =
   let a = Obs.counter ~labels:[ ("k", "a") ] "test.labelled" in
   let b = Obs.counter ~labels:[ ("k", "b") ] "test.labelled" in
@@ -380,6 +399,7 @@ let () =
     [ ( "instruments",
         [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
           Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "gauge_add atomicity" `Quick test_gauge_add_atomicity;
           Alcotest.test_case "labels" `Quick test_labels_distinguish;
           Alcotest.test_case "histogram buckets + quantiles" `Quick
             test_histogram_buckets_and_quantiles;
