@@ -13,6 +13,9 @@
                   (writes BENCH_parallel.json; 1-domain overhead is gated)
      cache        epoch-keyed query cache: repeat-query hit speedup and
                   miss-path overhead (writes BENCH_cache.json; both gated)
+     multidoc     document catalog: cross-document cache isolation (gated at
+                  zero), inter-document query fan-out, mixed readers/writers
+                  (writes BENCH_multidoc.json)
      server       TCP server under 1/4/16 concurrent clients: throughput,
                   p50/p99 latency, SIGTERM drain + recovery (writes
                   BENCH_server.json; error count and p99 are gated)
@@ -74,6 +77,22 @@ let header title =
 let gates : (string * float) list ref = ref []
 
 let record_gate k v = if Float.is_finite v then gates := (k, v) :: !gates
+
+(* Every self-written BENCH_*.json records the commit it measured, so an
+   archived artifact stays attributable without CI metadata. (The Chrome
+   trace artifact is exempt: its format is fixed by the trace_event spec.) *)
+let git_commit =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with Unix.Unix_error _ | Sys_error _ -> "unknown")
+
+let commit_field () =
+  Printf.sprintf "  \"commit\": \"%s\",\n" (Lazy.force git_commit)
 
 (* ------------------------------------------------------------------ fig9 -- *)
 
@@ -182,7 +201,9 @@ let run_fig9 ~scales ~quota =
           List.map (fun q -> snd (Core.Db.query_profiled_exn ~par:pool db q)) queries
         in
         write_artifact "BENCH_profile.json"
-          ("[\n" ^ String.concat ",\n" (List.map Core.Profile.render_json profs) ^ "\n]\n");
+          ("{\n" ^ commit_field () ^ "  \"profiles\": [\n"
+          ^ String.concat ",\n" (List.map Core.Profile.render_json profs)
+          ^ "\n  ]\n}\n");
         match profs with
         | p :: _ -> write_artifact "BENCH_trace.json" (Core.Profile.render_chrome p)
         | [] -> ());
@@ -683,8 +704,8 @@ let run_mvcc ~duration =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       Printf.fprintf oc
-        "{\n  \"duration_s\": %g,\n  \"think_s\": %g,\n  \"rows\": [\n%s\n  ],\n  \"slowdown_8r\": %g\n}\n"
-        duration think
+        "{\n%s  \"duration_s\": %g,\n  \"think_s\": %g,\n  \"rows\": [\n%s\n  ],\n  \"slowdown_8r\": %g\n}\n"
+        (commit_field ()) duration think
         (String.concat ",\n"
            (List.map
               (fun (n, c, r) ->
@@ -787,6 +808,7 @@ let run_parallel ~scale ~quota =
     (fun () ->
       Printf.fprintf oc
         "{\n\
+         %s\
         \  \"scale\": %g,\n\
         \  \"nodes\": %d,\n\
         \  \"cores\": %d,\n\
@@ -798,7 +820,7 @@ let run_parallel ~scale ~quota =
         \  \"overhead_1d\": %g,\n\
         \  \"speedup_4d\": %g\n\
          }\n"
-        scale nodes cores
+        (commit_field ()) scale nodes cores
         (String.concat ", " (List.map (Printf.sprintf "\"%s\"") queries))
         (String.concat ", " (List.map (Printf.sprintf "%.1f") t_seq))
         (String.concat ",\n"
@@ -928,6 +950,7 @@ let run_cache ~scale ~quota =
     (fun () ->
       Printf.fprintf oc
         "{\n\
+         %s\
         \  \"scale\": %g,\n\
         \  \"nodes\": %d,\n\
         \  \"queries\": [%s],\n\
@@ -940,7 +963,7 @@ let run_cache ~scale ~quota =
         \  \"stats\": { \"hits\": %d, \"misses\": %d, \"plan_hits\": %d,\n\
         \             \"evictions\": %d, \"entries\": %d, \"bytes\": %d }\n\
          }\n"
-        scale nodes
+        (commit_field ()) scale nodes
         (String.concat ", " (List.map (Printf.sprintf "\"%s\"") queries))
         (String.concat ", " (List.map (Printf.sprintf "%.1f") t_off))
         (String.concat ", " (List.map (Printf.sprintf "%.1f") t_hit))
@@ -948,6 +971,173 @@ let run_cache ~scale ~quota =
         st.Core.Qcache.misses st.Core.Qcache.plan_hits
         st.Core.Qcache.evictions st.Core.Qcache.entries st.Core.Qcache.bytes);
   print_endline "results written to BENCH_cache.json"
+
+(* -------------------------------------------------------------- multidoc -- *)
+
+(* The document catalog: N documents sharing one commit lane, WAL-less here,
+   one query cache. Three claims:
+
+   1. cache isolation — result keys are (document, query, epoch) with
+      per-document epochs, so a commit to one document must leave every
+      other document's warm results untouched. Deterministic, gated at
+      exactly zero cross-document misses.
+   2. inter-document fan-out — the same query across N documents runs as N
+      pool tasks. The dispatch overhead of a 1-domain pool vs the plain
+      sequential loop is gated (the speedup at N domains is reported but
+      not gated: CI boxes may have one core).
+   3. mixed readers/writers — readers pinned to other documents while one
+      document takes commits; rates reported, correctness is covered by the
+      isolation gate and a final per-document integrity check. *)
+let run_multidoc ~quota ~duration =
+  header "multi-document catalog: cache isolation and inter-document fan-out";
+  let ndocs = 4 in
+  let names =
+    List.init ndocs (fun i ->
+        if i = 0 then Core.Db.default_doc else Printf.sprintf "doc%d" i)
+  in
+  let mk_catalog ?cache () =
+    let db = Core.Db.empty ?cache () in
+    List.iter
+      (fun n ->
+        match Core.Db.create_doc ~page_bits:10 ~fill:0.8 db n (wide_doc 10_000) with
+        | Ok () -> ()
+        | Error e -> failwith (Core.Db.Error.to_string e))
+      names;
+    db
+  in
+  let q = "/*/*" in
+  let upd =
+    {|<xupdate:modifications><xupdate:append select="/*"><w/></xupdate:append></xupdate:modifications>|}
+  in
+
+  (* -- 1. cache isolation ------------------------------------------------ *)
+  let db = mk_catalog ~cache:Core.Db.default_cache () in
+  let count doc =
+    match Core.Db.query_count ~doc db q with
+    | Ok n -> n
+    | Error e -> failwith (Core.Db.Error.to_string e)
+  in
+  let stats () = Option.get (Core.Db.cache_stats db) in
+  List.iter (fun d -> ignore (count d)) names;
+  let st0 = stats () in
+  List.iter (fun d -> ignore (count d)) names;
+  let st1 = stats () in
+  let warm_hits = st1.Core.Qcache.hits - st0.Core.Qcache.hits in
+  (match Core.Db.update db upd with
+  | Ok _ -> ()
+  | Error e -> failwith (Core.Db.Error.to_string e));
+  let st2 = stats () in
+  List.iter (fun d -> ignore (count d)) (List.tl names);
+  let st3 = stats () in
+  let isolation_misses = st3.Core.Qcache.misses - st2.Core.Qcache.misses in
+  ignore (count (List.hd names));
+  let st4 = stats () in
+  let self_misses = st4.Core.Qcache.misses - st3.Core.Qcache.misses in
+  Printf.printf
+    "%d documents warm (%d/%d repeat hits); after a commit to %S:\n\
+    \  other documents: %d miss(es) (gate: 0 — per-document epochs)\n\
+    \  the written document: %d miss(es) (its epoch advanced)\n"
+    ndocs warm_hits ndocs (List.hd names) isolation_misses self_misses;
+  record_gate "multidoc_isolation_misses" (float_of_int isolation_misses);
+
+  (* -- 2. inter-document fan-out ----------------------------------------- *)
+  (* a second, cache-less catalog so the timings measure evaluation, not
+     cache lookups *)
+  let db2 = mk_catalog () in
+  let fanout par () =
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Ok _ -> ()
+        | Error e -> failwith (Core.Db.Error.to_string e))
+      (Core.Db.query_count_docs ?par db2 q)
+  in
+  let t_seq = bench_ns ~quota "multidoc-seq" (fanout None) in
+  let t_1d =
+    Core.Par.with_pool ~domains:1 (fun p ->
+        bench_ns ~quota "multidoc-1d" (fanout (Some p)))
+  in
+  let t_nd =
+    Core.Par.with_pool ~domains:ndocs (fun p ->
+        bench_ns ~quota "multidoc-nd" (fanout (Some p)))
+  in
+  let overhead_1d = t_1d /. t_seq in
+  let speedup_nd = t_seq /. t_nd in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\nsame query over %d documents: sequential %.0fns, 1-domain pool %.0fns, \
+     %d-domain pool %.0fns\n\
+     1-domain dispatch overhead: %.3fx (gated)\n\
+     %d-domain speedup: %.2fx (%d core(s); not gated)\n"
+    ndocs t_seq t_1d ndocs t_nd overhead_1d ndocs speedup_nd cores;
+  record_gate "multidoc_par_overhead_1d" overhead_1d;
+
+  (* -- 3. mixed readers/writers ------------------------------------------ *)
+  let stop = Atomic.make false in
+  let reads = Atomic.make 0 and commits = Atomic.make 0 in
+  let reader docs () =
+    while not (Atomic.get stop) do
+      List.iter
+        (fun d ->
+          match Core.Db.query_count ~doc:d db q with
+          | Ok _ -> Atomic.incr reads
+          | Error e -> failwith (Core.Db.Error.to_string e))
+        docs
+    done
+  in
+  let writer () =
+    while not (Atomic.get stop) do
+      match Core.Db.update db upd with
+      | Ok _ -> Atomic.incr commits
+      | Error (Core.Db.Error.Aborted _) -> ()
+      | Error e -> failwith (Core.Db.Error.to_string e)
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let rd = List.init 2 (fun _ -> Domain.spawn (reader (List.tl names))) in
+  let wt = Thread.create writer () in
+  Thread.delay duration;
+  Atomic.set stop true;
+  Thread.join wt;
+  List.iter Domain.join rd;
+  let dt = Unix.gettimeofday () -. t0 in
+  let reads_s = float_of_int (Atomic.get reads) /. dt in
+  let commits_s = float_of_int (Atomic.get commits) /. dt in
+  Printf.printf
+    "\nmixed load (%.1fs): 2 readers over %d docs at %.0f reads/s, 1 writer \
+     on %S at %.0f commits/s\n"
+    dt (ndocs - 1) reads_s (List.hd names) commits_s;
+  List.iter
+    (fun n ->
+      match Up.check_integrity (Core.Db.store ~doc:n db) with
+      | Ok () -> ()
+      | Error msg -> failwith (Printf.sprintf "integrity of %S: %s" n msg))
+    names;
+  Printf.printf "per-document integrity: OK (%d documents)\n" ndocs;
+
+  let oc = open_out "BENCH_multidoc.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+         %s\
+        \  \"ndocs\": %d,\n\
+        \  \"warm_hits\": %d,\n\
+        \  \"isolation_misses\": %d,\n\
+        \  \"self_misses\": %d,\n\
+        \  \"fanout_seq_ns\": %.1f,\n\
+        \  \"fanout_1d_ns\": %.1f,\n\
+        \  \"fanout_nd_ns\": %.1f,\n\
+        \  \"overhead_1d\": %g,\n\
+        \  \"speedup_nd\": %g,\n\
+        \  \"cores\": %d,\n\
+        \  \"mixed\": { \"reads_per_s\": %.1f, \"commits_per_s\": %.1f, \
+         \"duration_s\": %g }\n\
+         }\n"
+        (commit_field ()) ndocs warm_hits isolation_misses self_misses t_seq
+        t_1d t_nd overhead_1d speedup_nd cores reads_s commits_s dt);
+  print_endline "results written to BENCH_multidoc.json"
 
 (* ---------------------------------------------------------------- server -- *)
 
@@ -1125,8 +1315,8 @@ let run_server ~duration =
       ~finally:(fun () -> close_out oc)
       (fun () ->
         Printf.fprintf oc
-          "{\n  \"experiment\": \"server\",\n  \"duration_s\": %g,\n  \
-           \"rows\": [" duration;
+          "{\n%s  \"experiment\": \"server\",\n  \"duration_s\": %g,\n  \
+           \"rows\": [" (commit_field ()) duration;
         List.iteri
           (fun i (clients, rps, p50, p99, n, errs) ->
             Printf.fprintf oc
@@ -1236,7 +1426,7 @@ let () =
         "gate file: fail (exit 1) when a measured gate exceeds baseline by >20%" ) ]
   in
   Arg.parse spec (fun x -> experiments := x :: !experiments)
-    "usage: main.exe [server|fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|cache|ordpath|storage|all]*";
+    "usage: main.exe [server|fig9|shift-cost|insert-cost|concurrency|mvcc|parallel|cache|multidoc|ordpath|storage|all]*";
   let chosen = match !experiments with [] -> [ "all" ] | l -> List.rev l in
   let want name = List.mem name chosen || List.mem "all" chosen in
   (* server forks its child process; fork is illegal once a domain exists,
@@ -1253,6 +1443,7 @@ let () =
     run_parallel ~scale:(List.fold_left Float.max 0.0005 !scales) ~quota:!quota;
   if want "cache" then
     run_cache ~scale:(List.fold_left Float.max 0.0005 !scales) ~quota:!quota;
+  if want "multidoc" then run_multidoc ~quota:!quota ~duration:!duration;
   if want "ordpath" then run_ordpath ();
   if want "rdbms" then
     run_rdbms ~scale:(List.fold_left max 0.0005 !scales /. 5.0) ~quota:!quota;
@@ -1264,6 +1455,10 @@ let () =
   let oc = open_out obs_out in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Obs.render_json (Obs.snapshot ())));
+    (fun () ->
+      output_string oc
+        ("{\n" ^ commit_field () ^ "  \"metrics\": "
+        ^ Obs.render_json (Obs.snapshot ())
+        ^ "\n}\n"));
   Printf.printf "\nmetrics registry written to %s\n" obs_out;
   if !baseline <> "" && not (check_baseline !baseline) then exit 1

@@ -1,7 +1,7 @@
 (* xqdb — command-line front end to the updatable pre/post-plane XML store.
 
    Subcommands: query, explain, profile, xquery, update, stats, xmark,
-   metrics, checkpoint, recover, concurrent, torture.
+   metrics, checkpoint, recover, import, ls, concurrent, torture.
 
    Built on the result API (Db.query / Db.update / Db.open_recovered and
    Db.Session): every expected failure arrives as a Db.Error.t, so error
@@ -50,6 +50,25 @@ let fill =
   Arg.(value & opt float 0.8 & info [ "fill" ] ~doc)
 
 let doc_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"XML-FILE")
+
+(* --doc NAME flips the positional FILE from "XML text" to "catalog
+   checkpoint": the store is opened with open_recovered (checkpoint + WAL)
+   and the named document is addressed. Without it the historical
+   single-document behaviour is untouched. *)
+let doc_name_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "doc" ] ~docv:"NAME"
+        ~doc:
+          "Address the named document of a catalog. $(docv) makes the \
+           positional file argument a catalog checkpoint (as written by \
+           $(b,xqdb checkpoint) or $(b,xqdb import)) instead of an XML \
+           document.")
+
+let open_db ?wal_path ?cache ~page_bits ~fill ~doc path =
+  match doc with
+  | None -> Result.Ok (load ?wal_path ?cache ~page_bits ~fill path)
+  | Some _ -> Core.Db.open_recovered ?wal_path ?cache ~checkpoint:path ()
 
 (* ------------------------------------------------------------ query cache *)
 
@@ -140,16 +159,18 @@ let query_cmd =
             "Also collect a per-step profile and print the plan tree (with \
              timings) to stderr after the results.")
   in
-  let run path xpath count_only profile page_bits fill domains cache cache_size
-      metrics =
+  let run path xpath count_only profile page_bits fill domains doc cache
+      cache_size metrics =
     protect_parse (fun () ->
-        let db = load ?cache:(cache_cfg cache cache_size) ~page_bits ~fill path in
+        match open_db ?cache:(cache_cfg cache cache_size) ~page_bits ~fill ~doc path with
+        | Error e -> report_error e
+        | Result.Ok db ->
         let code =
           (* One session: the query and the serialisation of its results
              read the same pinned snapshot. *)
           match
             with_domains domains @@ fun par ->
-            Core.Db.read_txn_exn ?par db (fun s ->
+            Core.Db.read_txn_exn ?par ?doc db (fun s ->
                 let res =
                   if profile then
                     Result.map
@@ -191,7 +212,7 @@ let query_cmd =
   Cmd.v info
     Term.(
       const run $ doc_arg $ xpath $ count_only $ profile_flag $ page_bits $ fill
-      $ domains_arg $ cache_flag $ cache_size_arg $ metrics_flag)
+      $ domains_arg $ doc_name_arg $ cache_flag $ cache_size_arg $ metrics_flag)
 
 (* -------------------------------------------------------- explain/profile *)
 
@@ -305,9 +326,11 @@ let update_cmd =
       & info [ "wal" ] ~docv:"WAL"
           ~doc:"Append commit records to this write-ahead log file.")
   in
-  let run path xupdate output wal page_bits fill metrics =
+  let run path xupdate output wal doc page_bits fill metrics =
     protect_parse (fun () ->
-        let db = load ?wal_path:wal ~page_bits ~fill path in
+        match open_db ?wal_path:wal ~page_bits ~fill ~doc path with
+        | Error e -> report_error e
+        | Result.Ok db ->
         let code =
           let src =
             parse_xml_file ~what:"xupdate" xupdate (fun src ->
@@ -316,10 +339,14 @@ let update_cmd =
                 ignore (Xml.Xml_parser.parse src);
                 src)
           in
-          match Core.Db.update db src with
+          match Core.Db.update ?doc db src with
           | Ok n ->
             Printf.eprintf "%d target(s) updated\n" n;
-            let xml = Core.Db.to_xml db in
+            (* catalog mode: make the update durable in the checkpoint the
+               document came from (with the WAL truncated, the checkpoint
+               alone carries the new state) *)
+            if doc <> None then Core.Db.checkpoint ~truncate_wal:true db path;
+            let xml = Core.Db.to_xml ?doc db in
             (match output with None -> print_endline xml | Some out -> write_file out xml);
             0
           | Error e -> report_error e
@@ -330,7 +357,9 @@ let update_cmd =
   in
   let info = Cmd.info "update" ~doc:"Apply an XUpdate document transactionally." in
   Cmd.v info
-    Term.(const run $ doc_arg $ xupdate $ output $ wal $ page_bits $ fill $ metrics_flag)
+    Term.(
+      const run $ doc_arg $ xupdate $ output $ wal $ doc_name_arg $ page_bits
+      $ fill $ metrics_flag)
 
 (* ------------------------------------------------------------------ stats *)
 
@@ -490,24 +519,108 @@ let recover_cmd =
     Arg.(value & flag & info [ "q"; "quiet" ]
            ~doc:"Do not print the recovered document (summary still goes to stderr).")
   in
-  let run ck wal output quiet =
+  let run ck wal output quiet doc =
     match Core.Db.open_recovered ?wal_path:wal ~checkpoint:ck () with
     | Error e -> report_error e
     | Ok db ->
-      (match Core.Schema_up.check_integrity (Core.Db.store db) with
-      | Ok () -> Printf.eprintf "recovered: %d live nodes, integrity OK\n"
-                   (Core.Schema_up.node_count (Core.Db.store db))
-      | Error m -> Printf.eprintf "recovered but integrity FAILED: %s\n" m);
-      (match output with
-      | Some out -> write_file out (Core.Db.to_xml db)
-      | None -> if not quiet then print_endline (Core.Db.to_xml db));
-      0
+      let names = Core.Db.list_docs db in
+      List.iter
+        (fun nm ->
+          let st = Core.Db.store ~doc:nm db in
+          match Core.Schema_up.check_integrity st with
+          | Ok () -> Printf.eprintf "recovered %S: %d live nodes, integrity OK\n"
+                       nm (Core.Schema_up.node_count st)
+          | Error m -> Printf.eprintf "recovered %S but integrity FAILED: %s\n" nm m)
+        names;
+      (* which document to serialize: --doc, else the default document,
+         else a sole document; a multi-doc catalog needs an explicit pick *)
+      let to_print =
+        match doc with
+        | Some nm when List.mem nm names -> Result.Ok nm
+        | Some nm -> Error (Printf.sprintf "no document %S (catalog: %s)"
+                              nm (String.concat ", " names))
+        | None when List.mem Core.Db.default_doc names ->
+          Result.Ok Core.Db.default_doc
+        | None -> (
+          match names with
+          | [ only ] -> Result.Ok only
+          | _ ->
+            Error (Printf.sprintf
+                     "several documents recovered (%s): pick one with --doc"
+                     (String.concat ", " names)))
+      in
+      (match to_print, output, quiet with
+      | _, None, true -> 0
+      | Result.Ok nm, Some out, _ ->
+        write_file out (Core.Db.to_xml ~doc:nm db);
+        0
+      | Result.Ok nm, None, false ->
+        print_endline (Core.Db.to_xml ~doc:nm db);
+        0
+      | Error m, _, _ ->
+        prerr_endline m;
+        2)
   in
   let info =
     Cmd.info "recover"
       ~doc:"Recover a store from checkpoint + WAL; print or save the document."
   in
-  Cmd.v info Term.(const run $ ck $ wal $ output $ quiet)
+  Cmd.v info Term.(const run $ ck $ wal $ output $ quiet $ doc_name_arg)
+
+(* -------------------------------------------------------------- import/ls *)
+
+(* Grow a catalog checkpoint one document at a time: open it if it exists
+   (recovering through its WAL), otherwise start an empty catalog; shred the
+   XML file under the given name; checkpoint back with the WAL truncated so
+   the file on disk is self-contained. *)
+let import_cmd =
+  let ck = Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECKPOINT") in
+  let new_name = Arg.(required & pos 1 (some string) None & info [] ~docv:"NAME") in
+  let xml = Arg.(required & pos 2 (some file) None & info [] ~docv:"XML-FILE") in
+  let run ck name xml page_bits fill =
+    protect_parse @@ fun () ->
+    let opened =
+      if Sys.file_exists ck then Core.Db.open_recovered ~checkpoint:ck ()
+      else Result.Ok (Core.Db.empty ~wal_path:(ck ^ ".wal") ())
+    in
+    match opened with
+    | Error e -> report_error e
+    | Result.Ok db -> (
+      let src = parse_xml_file ~what:"xml" xml (fun s -> s) in
+      match Core.Db.create_doc_xml ~page_bits ~fill db name src with
+      | Error e ->
+        Core.Db.close db;
+        report_error e
+      | Result.Ok () ->
+        Core.Db.checkpoint ~truncate_wal:true db ck;
+        Core.Db.close db;
+        Printf.eprintf "imported %s as %S: catalog now [%s]\n" xml name
+          (String.concat "; " (Core.Db.list_docs db));
+        0)
+  in
+  let info =
+    Cmd.info "import"
+      ~doc:
+        "Add an XML file to a catalog checkpoint as a named document \
+         (creating the checkpoint when it does not exist yet); address it \
+         later with $(b,--doc) or the server's $(b,DOC) verb."
+  in
+  Cmd.v info Term.(const run $ ck $ new_name $ xml $ page_bits $ fill)
+
+let ls_cmd =
+  let ck = Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT") in
+  let run ck =
+    match Core.Db.open_recovered ~checkpoint:ck () with
+    | Error e -> report_error e
+    | Result.Ok db ->
+      List.iter print_endline (Core.Db.list_docs db);
+      Core.Db.close db;
+      0
+  in
+  let info =
+    Cmd.info "ls" ~doc:"List the document names of a catalog checkpoint."
+  in
+  Cmd.v info Term.(const run $ ck)
 
 (* ------------------------------------------------------------- concurrent *)
 
@@ -1186,14 +1299,39 @@ let serve_cmd =
           ~doc:"Log queries slower than $(docv) milliseconds (printed to \
                 stderr on shutdown).")
   in
+  let extra_docs =
+    Arg.(
+      value & opt_all string []
+      & info [ "doc" ] ~docv:"NAME=FILE"
+          ~doc:
+            "Also serve $(b,FILE) as document $(b,NAME) (repeatable). The \
+             positional file stays the default document; clients reach the \
+             others with the $(b,DOC) verb.")
+  in
   let run path port host max_conns max_frame timeout_ms write_deadline_ms
-      drain_grace_ms wal checkpoint slow_log domains cache cache_size page_bits
-      fill =
+      drain_grace_ms wal checkpoint slow_log extra_docs domains cache
+      cache_size page_bits fill =
     protect_parse (fun () ->
         let db =
           load ?wal_path:wal ?cache:(cache_cfg cache cache_size) ~page_bits
             ~fill path
         in
+        List.iter
+          (fun spec ->
+            match String.index_opt spec '=' with
+            | None | Some 0 ->
+              Printf.eprintf "bad --doc %S (expected NAME=FILE)\n" spec;
+              exit 2
+            | Some i ->
+              let name = String.sub spec 0 i in
+              let file = String.sub spec (i + 1) (String.length spec - i - 1) in
+              let src = parse_xml_file ~what:"xml" file (fun s -> s) in
+              (match Core.Db.create_doc_xml ~page_bits ~fill db name src with
+              | Result.Ok () -> ()
+              | Error e ->
+                Printf.eprintf "--doc %s: %s\n" name (Core.Db.Error.to_string e);
+                exit 2))
+          extra_docs;
         Option.iter
           (fun ms -> Core.Profile.Slowlog.configure ~threshold_s:(ms /. 1000.) ())
           slow_log;
@@ -1239,7 +1377,8 @@ let serve_cmd =
     Term.(
       const run $ doc_arg $ port $ host $ max_conns $ max_frame $ timeout_ms
       $ write_deadline_ms $ drain_grace_ms $ wal $ checkpoint $ slow_log
-      $ domains_arg $ cache_flag $ cache_size_arg $ page_bits $ fill)
+      $ extra_docs $ domains_arg $ cache_flag $ cache_size_arg $ page_bits
+      $ fill)
 
 (* ----------------------------------------------------------------- client *)
 
@@ -1248,8 +1387,8 @@ let client_cmd =
     Arg.(
       required & pos 0 (some string) None
       & info [] ~docv:"VERB"
-          ~doc:"PING, QUERY, COUNT, EXPLAIN, PROFILE, UPDATE, METRICS, CACHE \
-                or QUIT.")
+          ~doc:"PING, QUERY, COUNT, EXPLAIN, PROFILE, UPDATE, DOC, LS, \
+                CREATE, DROP, METRICS, CACHE or QUIT.")
   in
   let arg = Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG") in
   let port =
@@ -1263,9 +1402,44 @@ let client_cmd =
     Arg.(
       value & opt (some string) None
       & info [ "f"; "file" ] ~docv:"FILE"
-          ~doc:"Read the UPDATE body from this file ($(b,-) = stdin).")
+          ~doc:"Read the UPDATE (or CREATE) body from this file ($(b,-) = \
+                stdin).")
   in
-  let run verb arg port host body_file =
+  let doc_scope =
+    Arg.(
+      value & opt (some string) None
+      & info [ "doc" ] ~docv:"NAME"
+          ~doc:"Scope the request to this document: a $(b,DOC) frame is \
+                sent first on the same connection.")
+  in
+  (* ERR busy and ERR timeout are transient server states — a retry loop
+     around the client can key on exit code 2; every other ERR is 1. *)
+  let err_exit_code = function "busy" | "timeout" -> 2 | _ -> 1
+  in
+  (* One request/response round trip; [quiet] suppresses the OK payload
+     (used for the scoping DOC frame). *)
+  let roundtrip ?(quiet = false) fd payload =
+    Server.Protocol.write_frame fd payload;
+    match
+      Server.Protocol.read_frame
+        ~max_bytes:Server.Protocol.client_max_response_bytes fd
+    with
+    | Error e ->
+      Printf.eprintf "%s\n" (Server.Protocol.read_error_text e);
+      1
+    | Ok frame -> (
+      match Server.Protocol.parse_response frame with
+      | Error msg ->
+        Printf.eprintf "bad response: %s\n" msg;
+        1
+      | Ok (Server.Protocol.Ok out) ->
+        if out <> "" && not quiet then print_endline out;
+        0
+      | Ok (Server.Protocol.Err { code; msg }) ->
+        Printf.eprintf "ERR %s: %s\n" code msg;
+        err_exit_code code)
+  in
+  let run verb arg port host body_file doc_scope =
     let body =
       match body_file with
       | Some "-" -> Some (In_channel.input_all stdin)
@@ -1276,6 +1450,7 @@ let client_cmd =
       match (String.uppercase_ascii verb, arg, body) with
       | "UPDATE", _, Some b -> "UPDATE\n" ^ b
       | "UPDATE", Some inline, None -> "UPDATE\n" ^ inline
+      | "CREATE", Some name, Some b -> "CREATE " ^ name ^ "\n" ^ b
       | v, Some a, _ -> v ^ " " ^ a
       | v, None, _ -> v
     in
@@ -1290,33 +1465,21 @@ let client_cmd =
           Printf.eprintf "connect %s:%d: %s\n" host port (Unix.error_message e);
           1
         | () -> (
-          Server.Protocol.write_frame fd payload;
-          match
-            Server.Protocol.read_frame
-              ~max_bytes:Server.Protocol.client_max_response_bytes fd
-          with
-          | Error e ->
-            Printf.eprintf "%s\n" (Server.Protocol.read_error_text e);
-            1
-          | Ok frame -> (
-            match Server.Protocol.parse_response frame with
-            | Error msg ->
-              Printf.eprintf "bad response: %s\n" msg;
-              1
-            | Ok (Server.Protocol.Ok out) ->
-              if out <> "" then print_endline out;
-              0
-            | Ok (Server.Protocol.Err { code; msg }) ->
-              Printf.eprintf "ERR %s: %s\n" code msg;
-              1)))
+          match doc_scope with
+          | None -> roundtrip fd payload
+          | Some d -> (
+            match roundtrip ~quiet:true fd ("DOC " ^ d) with
+            | 0 -> roundtrip fd payload
+            | code -> code)))
   in
   let info =
     Cmd.info "client"
       ~doc:
         "Send one request to a running $(b,xqdb serve) and print the \
-         response (exit 0 on OK, 1 on ERR)."
+         response. Exit 0 on OK; 2 on the retryable $(b,ERR busy) / $(b,ERR \
+         timeout); 1 on any other ERR."
   in
-  Cmd.v info Term.(const run $ verb $ arg $ port $ host $ body_file)
+  Cmd.v info Term.(const run $ verb $ arg $ port $ host $ body_file $ doc_scope)
 
 let () =
   (* Manual fault injection for any subcommand, e.g.
@@ -1336,5 +1499,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
                      [ query_cmd; explain_cmd; profile_cmd; xquery_cmd;
                        update_cmd; stats_cmd; xmark_cmd; metrics_cmd;
-                       checkpoint_cmd; recover_cmd; concurrent_cmd;
-                       torture_cmd; serve_cmd; client_cmd ]))
+                       checkpoint_cmd; recover_cmd; import_cmd; ls_cmd;
+                       concurrent_cmd; torture_cmd; serve_cmd; client_cmd ]))

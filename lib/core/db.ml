@@ -1,8 +1,23 @@
-type t = {
+(* A store is a CATALOG of named documents. Each document owns its own
+   plane, pagemap, locks, version chain and schema (a private Txn.manager);
+   all documents share one commit lane (commit mutex + WAL), one query
+   cache and one domain pool. The document named [default_doc] plays the
+   role the whole store used to: every entry point defaults to it, so
+   single-document callers never mention documents at all. *)
+type doc_entry = {
+  name : string;
+  doc_id : int;  (* tags this document's WAL records; never reused *)
   mgr : Txn.manager;
-  schema : Validate.t option;
+  doc_schema : Validate.t option;
+}
+
+type t = {
+  lane : Txn.shared;
   wal_handle : Wal.t option;
   cache : cache_t option;
+  mutable docs : doc_entry list; (* catalog order = creation order *)
+  cat_mu : Mutex.t; (* guards [docs] / [next_doc_id], never held during I/O *)
+  mutable next_doc_id : int;
 }
 
 and cache_t = item_list Qcache.t
@@ -11,6 +26,8 @@ and item_list = Engine.Make(View).item list
 
 module E = Engine.Make (View)
 module Ser = Node_serialize.Make (View)
+
+let default_doc = "main"
 
 (* ---------------------------------------------------------------- errors -- *)
 
@@ -21,6 +38,7 @@ module Error = struct
     | Apply of string
     | Corrupt of string
     | Io of string
+    | Catalog of string
 
   let to_string = function
     | Parse { source; msg } -> Printf.sprintf "%s error: %s" source msg
@@ -28,7 +46,12 @@ module Error = struct
     | Apply msg -> "update failed: " ^ msg
     | Corrupt msg -> "corrupt store: " ^ msg
     | Io msg -> "i/o error: " ^ msg
+    | Catalog msg -> "catalog error: " ^ msg
 end
+
+exception Unknown_doc of string
+
+exception Doc_exists of string
 
 (* One funnel from the unrelated exception families the [_exn] entry points
    raise to the unified [Error.t]. Unknown exceptions still escape: they are
@@ -53,6 +76,9 @@ let capture f =
   | exception Column.Persist.Dec.Corrupt msg -> Error (Error.Corrupt msg)
   | exception Failure msg -> Error (Error.Corrupt msg)
   | exception Sys_error msg -> Error (Error.Io msg)
+  | exception Unknown_doc name -> Error (Error.Catalog ("no such document: " ^ name))
+  | exception Doc_exists name ->
+    Error (Error.Catalog ("document already exists: " ^ name))
 
 (* ----------------------------------------------------------- query cache -- *)
 
@@ -99,40 +125,124 @@ let resolve_cache cache =
 
 (* ------------------------------------------------------------- lifecycle -- *)
 
-let create ?page_bits ?fill ?wal_path ?schema ?cache doc =
-  let base = Schema_up.of_dom ?page_bits ?fill doc in
+let empty ?wal_path ?cache () =
   let wal_handle = Option.map Wal.open_log wal_path in
-  { mgr = Txn.manager ?wal:wal_handle base;
-    schema;
+  { lane = Txn.shared ?wal:wal_handle ();
     wal_handle;
-    cache = resolve_cache cache }
+    cache = resolve_cache cache;
+    docs = [];
+    cat_mu = Mutex.create ();
+    next_doc_id = 0 }
+
+let list_docs t =
+  Mutex.lock t.cat_mu;
+  let names = List.map (fun d -> d.name) t.docs in
+  Mutex.unlock t.cat_mu;
+  List.sort compare names
+
+let find_doc_exn t name =
+  Mutex.lock t.cat_mu;
+  let d = List.find_opt (fun d -> d.name = name) t.docs in
+  Mutex.unlock t.cat_mu;
+  match d with Some d -> d | None -> raise (Unknown_doc name)
+
+let create_doc_exn ?page_bits ?fill ?schema t name dom =
+  let base = Schema_up.of_dom ?page_bits ?fill dom in
+  Mutex.lock t.cat_mu;
+  match List.find_opt (fun d -> d.name = name) t.docs with
+  | Some _ ->
+    Mutex.unlock t.cat_mu;
+    raise (Doc_exists name)
+  | None ->
+    let doc_id = t.next_doc_id in
+    t.next_doc_id <- doc_id + 1;
+    let entry =
+      { name;
+        doc_id;
+        mgr = Txn.manager ~doc_id ~shared:t.lane base;
+        doc_schema = schema }
+    in
+    t.docs <- t.docs @ [ entry ];
+    Mutex.unlock t.cat_mu;
+    (* A predecessor of the same name may have left result entries behind;
+       the new document's epochs restart at 0, so purge them. *)
+    Option.iter (fun c -> Qcache.remove_doc c name) t.cache
+
+let create_doc ?page_bits ?fill ?schema t name dom =
+  capture (fun () -> create_doc_exn ?page_bits ?fill ?schema t name dom)
+
+let drop_doc_exn t name =
+  if name = default_doc then
+    invalid_arg "Db.drop_doc: cannot drop the default document";
+  Mutex.lock t.cat_mu;
+  if not (List.exists (fun d -> d.name = name) t.docs) then begin
+    Mutex.unlock t.cat_mu;
+    raise (Unknown_doc name)
+  end;
+  t.docs <- List.filter (fun d -> d.name <> name) t.docs;
+  Mutex.unlock t.cat_mu;
+  (* The id is never reused, so stray WAL records of the dropped document
+     are skipped on recovery; the drop itself becomes durable at the next
+     checkpoint. Cached results must go now — see [create_doc]. *)
+  Option.iter (fun c -> Qcache.remove_doc c name) t.cache
+
+let drop_doc t name = capture (fun () -> drop_doc_exn t name)
+
+let create ?page_bits ?fill ?wal_path ?schema ?cache dom =
+  let t = empty ?wal_path ?cache () in
+  create_doc_exn ?page_bits ?fill ?schema t default_doc dom;
+  t
 
 let of_xml ?page_bits ?fill ?wal_path ?schema ?cache src =
   create ?page_bits ?fill ?wal_path ?schema ?cache
     (Xml.Xml_parser.parse ~strip_ws:true src)
 
-let store t = Txn.store t.mgr
+let create_doc_xml ?page_bits ?fill ?schema t name src =
+  capture (fun () ->
+      create_doc_exn ?page_bits ?fill ?schema t name
+        (Xml.Xml_parser.parse ~strip_ws:true src))
 
-let manager t = t.mgr
+let store ?(doc = default_doc) t = Txn.store (find_doc_exn t doc).mgr
+
+let manager ?(doc = default_doc) t = (find_doc_exn t doc).mgr
 
 let cache_stats t = Option.map Qcache.stats t.cache
 
+(* Catalog checkpoints lead with a negative marker: a legacy single-plane
+   checkpoint starts with its (non-negative) LSN, so the first int tells
+   the two formats apart and old files load as a catalog whose sole
+   document is the default one. *)
+let catalog_magic = -7390
+
 let checkpoint ?(truncate_wal = false) t path =
-  (* Commits are excluded for the duration (Txn.exclusive): the snapshot is
-     a consistent committed state at the recorded LSN, and — when requested —
-     no commit can slip a WAL frame in between the checkpoint becoming
-     durable and the log rotation, so rotation never loses a commit.
-     Snapshot readers are not blocked.
+  (* Commits are excluded for the duration (Txn.exclusively on the shared
+     lane — every document commits through it, so the snapshot is a cut
+     that is consistent across the whole catalog at each document's
+     recorded LSN), and — when requested — no commit can slip a WAL frame
+     in between the checkpoint becoming durable and the log rotation, so
+     rotation never loses a commit. Snapshot readers are not blocked.
 
      The new checkpoint is written to a temp file and renamed into place:
      a crash at ANY point leaves either the old intact checkpoint (plus the
      unrotated WAL) or the new one — never a torn file at [path]. The
      torture harness drives every one of the failpoint windows below. *)
-  Txn.exclusive t.mgr (fun _ ->
+  Txn.exclusively t.lane (fun () ->
       Fault.hit "db.checkpoint.before";
+      Mutex.lock t.cat_mu;
+      let docs = t.docs and next_doc_id = t.next_doc_id in
+      Mutex.unlock t.cat_mu;
       let enc = Column.Persist.Enc.create () in
-      Column.Persist.Enc.int enc (Txn.last_committed t.mgr);
-      Schema_up.save (store t) enc;
+      Column.Persist.Enc.int enc catalog_magic;
+      Column.Persist.Enc.int enc 1 (* format version *);
+      Column.Persist.Enc.int enc next_doc_id;
+      Column.Persist.Enc.int enc (List.length docs);
+      List.iter
+        (fun d ->
+          Column.Persist.Enc.string enc d.name;
+          Column.Persist.Enc.int enc d.doc_id;
+          Column.Persist.Enc.int enc (Txn.last_committed d.mgr);
+          Schema_up.save (Txn.store d.mgr) enc)
+        docs;
       let tmp = path ^ ".tmp" in
       let oc = open_out_bin tmp in
       Fun.protect
@@ -159,15 +269,74 @@ let open_recovered_exn ?wal_path ?schema ?cache ~checkpoint () =
         | None -> failwith ("corrupt checkpoint: " ^ checkpoint))
   in
   let dec = Column.Persist.Dec.of_string payload in
-  let lsn = Column.Persist.Dec.int dec in
-  let base = Schema_up.load dec in
+  let first = Column.Persist.Dec.int dec in
+  (* (name, doc_id, checkpoint LSN, plane) in catalog order *)
+  let loaded, next_doc_id =
+    if first >= 0 then
+      (* Legacy single-plane checkpoint: [first] is the LSN. *)
+      [ (default_doc, 0, first, Schema_up.load dec) ], 1
+    else begin
+      if first <> catalog_magic then
+        raise
+          (Column.Persist.Dec.Corrupt
+             (Printf.sprintf "bad catalog marker %d" first));
+      let version = Column.Persist.Dec.int dec in
+      if version <> 1 then
+        raise
+          (Column.Persist.Dec.Corrupt
+             (Printf.sprintf "unsupported catalog version %d" version));
+      let next_doc_id = Column.Persist.Dec.int dec in
+      let ndocs = Column.Persist.Dec.int dec in
+      if ndocs < 0 then
+        raise (Column.Persist.Dec.Corrupt "negative document count");
+      ( List.init ndocs (fun _ ->
+            let name = Column.Persist.Dec.string dec in
+            let doc_id = Column.Persist.Dec.int dec in
+            let lsn = Column.Persist.Dec.int dec in
+            (name, doc_id, lsn, Schema_up.load dec)),
+        next_doc_id )
+    end
+  in
   let wal_path = Option.value ~default:(checkpoint ^ ".wal") wal_path in
-  let _, last = Txn.recover ~after:lsn ~wal_path base in
+  (* One pass over the mixed log: each record redoes onto its document's
+     plane, skipping frames at or below that document's checkpoint LSN. *)
+  let progress =
+    Txn.recover_docs ~wal_path
+      ~store_of:(fun id ->
+        List.find_map
+          (fun (_, doc_id, _, base) ->
+            if doc_id = id then Some base else None)
+          loaded)
+      ~after:(fun id ->
+        match List.find_opt (fun (_, doc_id, _, _) -> doc_id = id) loaded with
+        | Some (_, _, lsn, _) -> lsn
+        | None -> max_int)
+  in
   let wal_handle = Some (Wal.open_log wal_path) in
-  { mgr = Txn.manager ?wal:wal_handle ~next_txn:(last + 1) base;
-    schema;
+  let lane = Txn.shared ?wal:wal_handle () in
+  let docs =
+    List.map
+      (fun (name, doc_id, lsn, base) ->
+        let last =
+          match Hashtbl.find_opt progress doc_id with
+          | Some (_, last) -> max lsn last
+          | None -> lsn
+        in
+        { name;
+          doc_id;
+          mgr = Txn.manager ~next_txn:(last + 1) ~doc_id ~shared:lane base;
+          doc_schema = (if name = default_doc then schema else None) })
+      loaded
+  in
+  let max_id =
+    List.fold_left (fun acc (_, id, _, _) -> max acc (id + 1)) next_doc_id loaded
+  in
+  { lane;
     wal_handle;
-    cache = resolve_cache cache }
+    cache = resolve_cache cache;
+    docs;
+    cat_mu = Mutex.create ();
+    next_doc_id = max_id }
 
 let open_recovered ?wal_path ?schema ?cache ~checkpoint () =
   capture (fun () -> open_recovered_exn ?wal_path ?schema ?cache ~checkpoint ())
@@ -176,7 +345,7 @@ let close t = Option.iter Wal.close t.wal_handle
 
 (* ---------------------------------------------------------- profiled core -- *)
 
-let read t f = Txn.read t.mgr f
+let read ?doc t f = Txn.read (manager ?doc t) f
 
 (* Shared profiled-query core: run an evaluation strategy inside a
    "db.query" span and fold the timings, step records and cache status into
@@ -221,11 +390,11 @@ let run_plain ~src eval ~prof ~parse_s ~eval_s ~cache:_ =
    parse through the plan tier and evaluate (single-flighted — concurrent
    readers of the same key share this computation). A hit leaves the step
    list empty: nothing was evaluated. *)
-let run_cached ~src c ~epoch eval ~prof ~parse_s ~eval_s ~cache =
+let run_cached ~src ~doc c ~epoch eval ~prof ~parse_s ~eval_s ~cache =
   let t1 = Obs.monotonic () in
   let computed = ref false in
   let items =
-    Qcache.with_result c ~query:src ~epoch (fun () ->
+    Qcache.with_result ~doc c ~query:src ~epoch (fun () ->
         computed := true;
         let t0 = Obs.monotonic () in
         let path =
@@ -254,6 +423,7 @@ module Session = struct
      committed epoch. *)
   type t = {
     v : View.t;
+    doc : string; (* cache keys carry the document name — epochs are per-doc *)
     writable : bool;
     par : Par.t option;
     cache : item_list Qcache.t option;
@@ -276,7 +446,8 @@ module Session = struct
     let eval ~prof path = E.eval_items ?par:s.par ~prof s.v path in
     match active_cache s with
     | None -> profiled ~domains ~src (run_plain ~src eval)
-    | Some (c, epoch) -> profiled ~domains ~src (run_cached ~src c ~epoch eval)
+    | Some (c, epoch) ->
+      profiled ~domains ~src (run_cached ~src ~doc:s.doc c ~epoch eval)
 
   let query_profiled s src = capture (fun () -> query_profiled_exn s src)
 
@@ -297,7 +468,7 @@ module Session = struct
                 E.eval_items ?par:s.par s.v path))
       | Some (c, epoch) ->
         Obs.Span.with_ "db.query" (fun () ->
-            Qcache.with_result c ~query:src ~epoch (fun () ->
+            Qcache.with_result ~doc:s.doc c ~query:src ~epoch (fun () ->
                 let path =
                   Obs.Span.with_ "xpath.parse" (fun () ->
                       Qcache.plan c src Xpath.Xpath_parser.parse)
@@ -327,73 +498,150 @@ module Session = struct
   let update s src = capture (fun () -> update_exn s src)
 end
 
-let read_txn_exn ?par ?(cache = true) t f =
-  Txn.read t.mgr (fun v ->
+let read_txn_exn ?par ?(cache = true) ?(doc = default_doc) t f =
+  let entry = find_doc_exn t doc in
+  Txn.read entry.mgr (fun v ->
       let c = if cache then t.cache else None in
       let epoch = Option.map Version.epoch (View.snapshot_version v) in
-      f { Session.v; writable = false; par; cache = c; epoch })
+      f { Session.v; doc; writable = false; par; cache = c; epoch })
 
-let read_txn ?par ?cache t f = capture (fun () -> read_txn_exn ?par ?cache t f)
+let read_txn ?par ?cache ?doc t f =
+  capture (fun () -> read_txn_exn ?par ?cache ?doc t f)
 
-let with_write t f =
-  let validate = Option.map Validate.checker t.schema in
-  Txn.with_write t.mgr ?validate f
+let with_write ?(doc = default_doc) t f =
+  let entry = find_doc_exn t doc in
+  let validate = Option.map Validate.checker entry.doc_schema in
+  Txn.with_write entry.mgr ?validate f
 
-let write_txn_exn t f =
-  with_write t (fun v ->
-      f { Session.v; writable = true; par = None; cache = None; epoch = None })
+let write_txn_exn ?(doc = default_doc) t f =
+  with_write ~doc t (fun v ->
+      f { Session.v; doc; writable = true; par = None; cache = None; epoch = None })
 
-let write_txn t f = capture (fun () -> write_txn_exn t f)
+let write_txn ?doc t f = capture (fun () -> write_txn_exn ?doc t f)
+
+(* Atomic multi-document write: one transaction per named document, all
+   committed as one group — one WAL frame, all-or-nothing on recovery. *)
+let write_multi_exn t names f =
+  let names = List.sort_uniq compare names in
+  if names = [] then invalid_arg "Db.write_multi: no documents named";
+  let entries = List.map (find_doc_exn t) names in
+  let txns = List.map (fun e -> (e, Txn.begin_write e.mgr)) entries in
+  let sessions =
+    List.map
+      (fun (e, txn) ->
+        ( e.name,
+          { Session.v = Txn.view txn;
+            doc = e.name;
+            writable = true;
+            par = None;
+            cache = None;
+            epoch = None } ))
+      txns
+  in
+  let lookup n =
+    match List.assoc_opt n sessions with
+    | Some s -> s
+    | None -> raise (Unknown_doc n)
+  in
+  let abort_all () =
+    List.iter
+      (fun (_, txn) ->
+        match Txn.abort txn with () -> () | exception Invalid_argument _ -> ())
+      txns
+  in
+  match f lookup with
+  | result ->
+    Txn.commit_group
+      (List.map
+         (fun (e, txn) -> (txn, Option.map Validate.checker e.doc_schema))
+         txns);
+    result
+  | exception Lock.Would_deadlock { page; _ } ->
+    abort_all ();
+    raise (Txn.Aborted (Printf.sprintf "deadlock timeout on page %d" page))
+  | exception Txn.Conflict { page; _ } ->
+    abort_all ();
+    raise (Txn.Aborted (Printf.sprintf "snapshot conflict on page %d" page))
+  | exception e ->
+    abort_all ();
+    raise e
+
+let write_multi t names f = capture (fun () -> write_multi_exn t names f)
 
 (* ------------------------------------------ queries (implicit sessions) -- *)
 
-let query_exn ?par ?cache t src =
-  read_txn_exn ?par ?cache t (fun s -> Session.query_exn s src)
+let query_exn ?par ?cache ?doc t src =
+  read_txn_exn ?par ?cache ?doc t (fun s -> Session.query_exn s src)
 
-let query ?par ?cache t src = capture (fun () -> query_exn ?par ?cache t src)
+let query ?par ?cache ?doc t src =
+  capture (fun () -> query_exn ?par ?cache ?doc t src)
 
-let query_profiled_exn ?par ?cache t src =
-  read_txn_exn ?par ?cache t (fun s -> Session.query_profiled_exn s src)
+let query_profiled_exn ?par ?cache ?doc t src =
+  read_txn_exn ?par ?cache ?doc t (fun s -> Session.query_profiled_exn s src)
 
-let query_profiled ?par ?cache t src =
-  capture (fun () -> query_profiled_exn ?par ?cache t src)
+let query_profiled ?par ?cache ?doc t src =
+  capture (fun () -> query_profiled_exn ?par ?cache ?doc t src)
 
-let query_strings_exn ?par ?cache t src =
-  read_txn_exn ?par ?cache t (fun s -> Session.strings_exn s src)
+let query_strings_exn ?par ?cache ?doc t src =
+  read_txn_exn ?par ?cache ?doc t (fun s -> Session.strings_exn s src)
 
-let query_strings ?par ?cache t src =
-  capture (fun () -> query_strings_exn ?par ?cache t src)
+let query_strings ?par ?cache ?doc t src =
+  capture (fun () -> query_strings_exn ?par ?cache ?doc t src)
 
-let query_count_exn ?par ?cache t src =
-  read_txn_exn ?par ?cache t (fun s -> Session.count_exn s src)
+let query_count_exn ?par ?cache ?doc t src =
+  read_txn_exn ?par ?cache ?doc t (fun s -> Session.count_exn s src)
 
-let query_count ?par ?cache t src =
-  capture (fun () -> query_count_exn ?par ?cache t src)
+let query_count ?par ?cache ?doc t src =
+  capture (fun () -> query_count_exn ?par ?cache ?doc t src)
 
-let to_xml ?indent t = read t (fun v -> Ser.to_string ?indent v)
+let to_xml ?indent ?doc t = read ?doc t (fun v -> Ser.to_string ?indent v)
+
+(* Inter-document fan-out: independent documents are embarrassingly
+   parallel, so the same query runs on each named document as one pool task
+   — each task pins its own snapshot and evaluates sequentially. Results
+   (or per-document errors) come back in the order the names were given. *)
+let query_count_docs ?par ?docs t src =
+  let names = match docs with Some ns -> ns | None -> list_docs t in
+  let tasks =
+    List.map (fun name () -> (name, query_count ~doc:name t src)) names
+  in
+  match par with
+  | Some p when List.length tasks > 1 -> Par.run p tasks
+  | _ -> List.map (fun task -> task ()) tasks
+
+let query_strings_docs ?par ?docs t src =
+  let names = match docs with Some ns -> ns | None -> list_docs t in
+  let tasks =
+    List.map (fun name () -> (name, query_strings ~doc:name t src)) names
+  in
+  match par with
+  | Some p when List.length tasks > 1 -> Par.run p tasks
+  | _ -> List.map (fun task -> task ()) tasks
 
 (* --------------------------------------------------------------- updates -- *)
 
-let update_exn t src =
+let update_exn ?doc t src =
   Obs.Span.with_ "db.update" (fun () ->
       let cmds = Obs.Span.with_ "xupdate.parse" (fun () -> Xupdate.parse src) in
-      with_write t (fun v ->
+      with_write ?doc t (fun v ->
           Obs.Span.with_ "xupdate.apply" (fun () -> Xupdate.apply v cmds)))
 
-let update t src = capture (fun () -> update_exn t src)
+let update ?doc t src = capture (fun () -> update_exn ?doc t src)
 
 (* ----------------------------------------------------------- maintenance -- *)
 
-let vacuum ?fill ?checkpoint_to t =
+let vacuum ?fill ?checkpoint_to ?(doc = default_doc) t =
   (match t.wal_handle, checkpoint_to with
   | Some _, None ->
     invalid_arg
       "Db.vacuum: compaction invalidates the WAL; pass ~checkpoint_to"
   | (Some _ | None), _ -> ());
-  Txn.vacuum ?fill t.mgr;
-  (* Compaction renumbers nodes and advanced the epoch: every cached result
-     is dead — drop them now rather than letting them age out. *)
-  Option.iter Qcache.clear t.cache;
+  let entry = find_doc_exn t doc in
+  Txn.vacuum ?fill entry.mgr;
+  (* Compaction renumbers this document's nodes and advanced its epoch:
+     its cached results are dead — drop them now rather than letting them
+     age out. Other documents' entries are untouched. *)
+  Option.iter (fun c -> Qcache.remove_doc c doc) t.cache;
   Option.iter (fun path -> checkpoint ~truncate_wal:true t path) checkpoint_to
 
 (* -------------------------------------------------------------- metrics -- *)

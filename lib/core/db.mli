@@ -1,8 +1,17 @@
 (** The database facade: an ACID XML store on the updateable schema.
 
-    Ties the pieces together: shred a document, query it with XPath, update
-    it with XUpdate inside transactions, checkpoint to disk, recover from
-    checkpoint + WAL.
+    A store is a {e catalog of named documents}: each document owns its own
+    pre/size/level plane, pagemap, lock table, version chain and schema,
+    while the whole catalog shares one commit mutex, one WAL, one query
+    cache and (via [?par]) one domain pool. Every entry point takes [?doc]
+    (default: {!default_doc}, the document [create] shreds), so
+    single-document callers never mention documents at all — see the
+    migration table in the README.
+
+    Ties the pieces together: shred documents, query them with XPath,
+    update them with XUpdate inside transactions — atomically across
+    several documents with {!write_multi} — checkpoint the catalog to disk,
+    recover from checkpoint + mixed multi-document WAL.
 
     Reads are {e snapshot-isolated} (see {!Version}): a query pins the
     newest committed version and evaluates with no lock held, so readers
@@ -21,7 +30,10 @@
 
     {b Caching.} A store created with [?cache] carries a two-tier
     {!Qcache}: compiled plans keyed by query text, results keyed by
-    (query text, snapshot epoch). Read sessions consult it by default
+    (document, query text, snapshot epoch) — epochs are per-document
+    commit LSNs, so a commit to one document never invalidates (or
+    collides with) another document's cached results. Read sessions
+    consult it by default
     (opt out per transaction with [~cache:false]); write sessions always
     bypass it. Invalidation is free — commits advance the epoch, so stale
     entries can never match a freshly pinned snapshot. The [XQDB_CACHE]
@@ -44,9 +56,17 @@ module Error : sig
     | Apply of string  (** XUpdate targeted a nonexistent or invalid node. *)
     | Corrupt of string  (** Checkpoint / WAL payload failed to decode. *)
     | Io of string  (** Operating-system error (missing file, …). *)
+    | Catalog of string
+        (** Unknown document name, or a name that already exists. *)
 
   val to_string : t -> string
 end
+
+exception Unknown_doc of string
+(** Raised by the [_exn] entry points when [?doc] names no document. *)
+
+exception Doc_exists of string
+(** Raised by {!create_doc_exn} on a duplicate name. *)
 
 (** {1 Lifecycle} *)
 
@@ -62,6 +82,10 @@ val cache_config :
 
 val default_cache : cache_config
 
+val default_doc : string
+(** ["main"] — the document every entry point's [?doc] defaults to, and the
+    one {!create} shreds. *)
+
 val create :
   ?page_bits:int ->
   ?fill:float ->
@@ -70,10 +94,11 @@ val create :
   ?cache:cache_config ->
   Xml.Dom.t ->
   t
-(** Shred a document into a fresh store. When [wal_path] is given, every
-    commit appends a WAL frame there. [schema] is validated at every
-    commit. [cache] enables the epoch-keyed query cache (subject to the
-    [XQDB_CACHE] override, see above). *)
+(** Shred a document into a fresh catalog as {!default_doc}. When
+    [wal_path] is given, every commit appends a WAL frame there. [schema]
+    is validated at every commit to this document. [cache] enables the
+    epoch-keyed query cache (subject to the [XQDB_CACHE] override, see
+    above). *)
 
 val of_xml :
   ?page_bits:int -> ?fill:float -> ?wal_path:string -> ?schema:Validate.t ->
@@ -81,9 +106,49 @@ val of_xml :
 (** [create] from XML text (whitespace-only text is stripped, as for
     benchmark documents). *)
 
+val empty : ?wal_path:string -> ?cache:cache_config -> unit -> t
+(** A catalog with no documents (even no {!default_doc}) — add them with
+    {!create_doc}. Entry points that default to {!default_doc} fail with
+    {!Error.Catalog} until a document of that name exists. *)
+
+(** {1 The document catalog} *)
+
+val create_doc :
+  ?page_bits:int -> ?fill:float -> ?schema:Validate.t ->
+  t -> string -> Xml.Dom.t -> (unit, Error.t) result
+(** Shred [dom] as a new named document sharing the catalog's commit lane,
+    WAL and cache. [Error.Catalog] if the name is taken. Names are never
+    shared with dropped documents' WAL ids, so re-creating a name is safe.
+    Catalog membership becomes durable at the next {!checkpoint}. *)
+
+val create_doc_exn :
+  ?page_bits:int -> ?fill:float -> ?schema:Validate.t ->
+  t -> string -> Xml.Dom.t -> unit
+
+val create_doc_xml :
+  ?page_bits:int -> ?fill:float -> ?schema:Validate.t ->
+  t -> string -> string -> (unit, Error.t) result
+(** {!create_doc} from XML text. *)
+
+val drop_doc : t -> string -> (unit, Error.t) result
+(** Remove a document from the catalog and purge its cached results (its
+    epochs restart at zero if the name is re-created). The default document
+    cannot be dropped ([Invalid_argument]). In-flight transactions on the
+    dropped document finish undisturbed — the document object simply stops
+    being reachable by name; the drop becomes durable at the next
+    {!checkpoint} (stray WAL records of dropped documents are skipped on
+    recovery). *)
+
+val drop_doc_exn : t -> string -> unit
+
+val list_docs : t -> string list
+(** Document names, sorted. *)
+
 val checkpoint : ?truncate_wal:bool -> t -> string -> unit
-(** Write a checkpoint file — a consistent committed snapshot taken with
-    commits excluded (snapshot readers keep running). With
+(** Write a checkpoint file — a committed snapshot of the {e whole catalog}
+    (every document's plane plus its LSN and id), taken with commits
+    excluded on the shared lane so the cut is consistent across documents
+    (snapshot readers keep running). With
     [~truncate_wal:true] the WAL is rotated to empty {e atomically} once the
     checkpoint is durable: no commit can intervene between the two, so the
     checkpoint + empty log carry exactly the same information as the old
@@ -94,8 +159,13 @@ val checkpoint : ?truncate_wal:bool -> t -> string -> unit
 val open_recovered :
   ?wal_path:string -> ?schema:Validate.t -> ?cache:cache_config ->
   checkpoint:string -> unit -> (t, Error.t) result
-(** Load a checkpoint, replay the intact WAL prefix, and continue logging to
-    [wal_path] (default: the same path). Returns the recovered store. *)
+(** Load a checkpoint, replay the intact prefix of the (possibly mixed
+    multi-document) WAL — each record redone onto its own document's plane,
+    commit groups all-or-nothing — and continue logging to [wal_path]
+    (default: the same path). Legacy single-plane checkpoints load as a
+    catalog whose sole document is {!default_doc}. [schema] re-attaches to
+    the default document (schemas are not persisted). Returns the recovered
+    store. *)
 
 val open_recovered_exn :
   ?wal_path:string -> ?schema:Validate.t -> ?cache:cache_config ->
@@ -103,9 +173,9 @@ val open_recovered_exn :
 (** Raising {!open_recovered} ([Failure] / [Sys_error] /
     [Column.Persist.Dec.Corrupt]). *)
 
-val store : t -> Schema_up.t
+val store : ?doc:string -> t -> Schema_up.t
 
-val manager : t -> Txn.manager
+val manager : ?doc:string -> t -> Txn.manager
 
 val close : t -> unit
 (** Close the WAL channel (if any). *)
@@ -173,7 +243,9 @@ module Session : sig
       {!Staircase} interop). *)
 end
 
-val read_txn : ?par:Par.t -> ?cache:bool -> t -> (Session.t -> 'a) -> ('a, Error.t) result
+val read_txn :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> (Session.t -> 'a) ->
+  ('a, Error.t) result
 (** Run [f] in one read session: a pinned snapshot; every [Session.query]
     inside sees the same committed state, and no lock is held while [f]
     runs.
@@ -185,32 +257,52 @@ val read_txn : ?par:Par.t -> ?cache:bool -> t -> (Session.t -> 'a) -> ('a, Error
     always complete inside [f]). Write sessions never parallelise.
 
     [?cache] (default [true]) controls whether the session consults the
-    store's result cache; it is meaningless on a store without one. *)
+    store's result cache; it is meaningless on a store without one.
 
-val read_txn_exn : ?par:Par.t -> ?cache:bool -> t -> (Session.t -> 'a) -> 'a
+    [?doc] names the document to pin (default {!default_doc}); snapshots
+    are per-document. *)
 
-val write_txn : t -> (Session.t -> 'a) -> ('a, Error.t) result
+val read_txn_exn :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> (Session.t -> 'a) -> 'a
+
+val write_txn : ?doc:string -> t -> (Session.t -> 'a) -> ('a, Error.t) result
 (** Run [f] in one write session; commits when [f] returns, aborts on
     exception. Write sessions bypass the result cache entirely — their
     own staged state is not a committed epoch. *)
 
-val write_txn_exn : t -> (Session.t -> 'a) -> 'a
+val write_txn_exn : ?doc:string -> t -> (Session.t -> 'a) -> 'a
 (** Raising {!write_txn} (raises {!Txn.Aborted} like {!with_write}). *)
+
+val write_multi :
+  t -> string list -> ((string -> Session.t) -> 'a) -> ('a, Error.t) result
+(** Run one write session spanning several documents {e atomically}: [f]
+    receives a lookup returning the write session of each named document
+    (raises {!Unknown_doc} for names outside the list), and when [f]
+    returns, all the per-document transactions commit as one group — one
+    WAL frame, so recovery replays the whole group or none of it. A
+    validation failure, conflict or exception aborts every member.
+    Duplicate names are collapsed; the list must be non-empty
+    ([Invalid_argument]). *)
+
+val write_multi_exn : t -> string list -> ((string -> Session.t) -> 'a) -> 'a
 
 (** {1 Queries (implicit read session)} *)
 
-val query : ?par:Par.t -> ?cache:bool -> t -> string -> (E.item list, Error.t) result
+val query :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string ->
+  (E.item list, Error.t) result
 (** Evaluate an XPath against a pinned snapshot (no lock held) — an
     implicit single-statement {!read_txn}. With [?par], axis steps run
     domain-parallel against the snapshot (same results). While the
     slow-query log is armed ({!Profile.Slowlog.configure}), queries run
     profiled so a threshold crossing captures a full profile. *)
 
-val query_exn : ?par:Par.t -> ?cache:bool -> t -> string -> E.item list
+val query_exn :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string -> E.item list
 (** Raising {!query} ({!Xpath.Xpath_parser.Syntax_error} on bad input). *)
 
 val query_profiled :
-  ?par:Par.t -> ?cache:bool -> t -> string ->
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string ->
   (E.item list * Profile.t, Error.t) result
 (** Evaluate like {!query} and return a {!Profile.t} alongside the result:
     one record per axis step (chosen plan, partitions, context size, slots
@@ -221,53 +313,78 @@ val query_profiled :
     per-step accounting; use {!query} for the zero-overhead path. *)
 
 val query_profiled_exn :
-  ?par:Par.t -> ?cache:bool -> t -> string -> E.item list * Profile.t
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string ->
+  E.item list * Profile.t
 
 val query_strings :
-  ?par:Par.t -> ?cache:bool -> t -> string -> (string list, Error.t) result
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string ->
+  (string list, Error.t) result
 
-val query_strings_exn : ?par:Par.t -> ?cache:bool -> t -> string -> string list
+val query_strings_exn :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string -> string list
 
-val query_count : ?par:Par.t -> ?cache:bool -> t -> string -> (int, Error.t) result
+val query_count :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string ->
+  (int, Error.t) result
 
-val query_count_exn : ?par:Par.t -> ?cache:bool -> t -> string -> int
+val query_count_exn :
+  ?par:Par.t -> ?cache:bool -> ?doc:string -> t -> string -> int
 
-val to_xml : ?indent:bool -> t -> string
-(** Serialise the whole document. *)
+val to_xml : ?indent:bool -> ?doc:string -> t -> string
+(** Serialise one document (default {!default_doc}). *)
 
-val read : t -> (View.t -> 'a) -> 'a
+val read : ?doc:string -> t -> (View.t -> 'a) -> 'a
 (** Run read-only logic against a pinned snapshot {!View.t} — the raw
     primitive {!read_txn} is built on. Prefer sessions; use this when you
     need the view itself (e.g. {!Staircase} / {!Update} interop). *)
 
+(** {1 Inter-document fan-out}
+
+    Independent documents are embarrassingly parallel: the same query
+    evaluated across N documents runs as N pool tasks, each pinning its own
+    snapshot and evaluating sequentially. *)
+
+val query_count_docs :
+  ?par:Par.t -> ?docs:string list -> t -> string ->
+  (string * (int, Error.t) result) list
+(** Evaluate one XPath on each named document ([docs] defaults to the whole
+    catalog), one {!Par} task per document when [par] is given. Results
+    come back in input order, each tagged with its document name; a failure
+    on one document does not disturb the others. *)
+
+val query_strings_docs :
+  ?par:Par.t -> ?docs:string list -> t -> string ->
+  (string * (string list, Error.t) result) list
+
 (** {1 Updates (implicit write session)} *)
 
-val update : t -> string -> (int, Error.t) result
+val update : ?doc:string -> t -> string -> (int, Error.t) result
 (** Parse and apply an XUpdate document in one write transaction; returns
     the number of affected targets. *)
 
-val update_exn : t -> string -> int
+val update_exn : ?doc:string -> t -> string -> int
 (** Raising {!update} ({!Txn.Aborted} on validation failure or deadlock
     timeout, {!Xupdate.Apply_error} on bad targets). *)
 
-val with_write : t -> (View.t -> 'a) -> 'a
+val with_write : ?doc:string -> t -> (View.t -> 'a) -> 'a
 (** Run arbitrary update logic (via {!Update} / {!Xupdate}) against the raw
     staged {!View.t} in one write transaction — the primitive
     {!write_txn} is built on. *)
 
 (** {1 Maintenance} *)
 
-val vacuum : ?fill:float -> ?checkpoint_to:string -> t -> unit
-(** Compact the store: re-pack live tuples at the [fill] factor (default
+val vacuum : ?fill:float -> ?checkpoint_to:string -> ?doc:string -> t -> unit
+(** Compact one document (default {!default_doc}): re-pack live tuples at the [fill] factor (default
     0.8), restore the identity pageOffset, drop attribute tombstones. Node
     handles stay valid. Waits for every pinned snapshot to unpin (do not
     call from inside {!read}/{!read_txn}). Compaction physically relocates
     tuples, which invalidates WAL replay positions, so when a WAL is active
     a [checkpoint_to] path is required — the checkpoint is written
     immediately after compaction and the WAL is truncated (raises
-    [Invalid_argument] otherwise). Advances the version epoch and drops
-    the query cache: compaction renumbers nodes, so pre-based cached
-    results must not survive it. *)
+    [Invalid_argument] otherwise). Advances the document's version epoch
+    and purges its cached results (other documents' entries survive):
+    compaction renumbers nodes, so pre-based cached results must not
+    outlive it. *)
 
 (** {1 Observability}
 

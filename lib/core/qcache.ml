@@ -115,8 +115,12 @@ type 'v t = {
   mu : Mutex.t;
   cond : Condition.t;  (** single-flight waiters park here *)
   plans : (string, Xpath.Xpath_ast.path) lru;
-  results : (string * int, 'v) lru;
-  inflight : (string * int, unit) Hashtbl.t;
+  (* Result keys carry the document name: epochs are per-document commit
+     LSNs, so two documents' counters collide — (doc, query, epoch) keeps
+     one document's commits from ever matching (or evicting by collision)
+     another's cached results. *)
+  results : (string * string * int, 'v) lru;
+  inflight : (string * string * int, unit) Hashtbl.t;
   size : 'v -> int;
   max_entries : int;
   max_bytes : int;
@@ -192,9 +196,9 @@ let plan c src parse =
 
 (* ---------------------------------------------------------------- results -- *)
 
-let find c ~query ~epoch =
+let find ?(doc = "") c ~query ~epoch =
   let r = locked c (fun () ->
-      match lru_find c.results (query, epoch) with
+      match lru_find c.results (doc, query, epoch) with
       | Some v ->
         c.hits <- c.hits + 1;
         Some v
@@ -217,8 +221,8 @@ let insert_locked c key v =
     publish_delta ~bytes:(sz - freed) ~entries:(1 - evicted)
   end
 
-let with_result c ~query ~epoch compute =
-  let key = (query, epoch) in
+let with_result ?(doc = "") c ~query ~epoch compute =
+  let key = (doc, query, epoch) in
   Mutex.lock c.mu;
   let rec acquire waited =
     match lru_find c.results key with
@@ -264,6 +268,30 @@ let with_result c ~query ~epoch compute =
   acquire false
 
 (* --------------------------------------------------------------- plumbing -- *)
+
+(* Purge one document's result entries — for [drop_doc]/vacuum: a document
+   re-created under the same name restarts its epoch counter at 0, so
+   entries left behind by the old incarnation could otherwise serve stale
+   results to the new one. Plans survive (they are document-independent). *)
+let remove_doc c doc =
+  locked c (fun () ->
+      let victims =
+        Hashtbl.fold
+          (fun ((d, _, _) as key) _ acc -> if d = doc then key :: acc else acc)
+          c.results.tbl []
+      in
+      let freed = ref 0 in
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt c.results.tbl key with
+          | None -> ()
+          | Some n ->
+            unlink c.results n;
+            Hashtbl.remove c.results.tbl key;
+            c.results.bytes <- c.results.bytes - n.size;
+            freed := !freed + n.size)
+        victims;
+      publish_delta ~bytes:(- !freed) ~entries:(-(List.length victims)))
 
 let clear c =
   locked c (fun () ->

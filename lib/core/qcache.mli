@@ -4,8 +4,8 @@
     Plans depend only on the text, so they are reused across every version
     of the store.
 
-    Tier 2 — {e result cache}: (query text, version epoch) -> evaluated
-    result. The epoch is the commit sequence number a pinned
+    Tier 2 — {e result cache}: (document, query text, version epoch) ->
+    evaluated result. The epoch is the commit sequence number a pinned
     {!Version.t} descriptor carries ({!Version.epoch}), so invalidation is
     free: a cached result is valid for a reader iff its epoch equals the
     epoch of the snapshot the reader pinned. Committed updates install a
@@ -14,6 +14,14 @@
     match a freshly pinned snapshot — old entries simply stop being looked
     up and age out of the LRU. Vacuum also advances the epoch, which
     invalidates results that depend on physical node ids.
+
+    Epochs are {e per document} (each document of a catalog has its own
+    version chain), so the key carries the document name: a commit to
+    document A advances only A's epoch and can never invalidate — or,
+    through a counter collision, corrupt — document B's cached results.
+    Dropping a document must purge its entries explicitly
+    ({!remove_doc}); a successor document of the same name restarts the
+    epoch counter from zero.
 
     Both tiers are bounded LRU; the result tier additionally by an
     approximate byte budget (caller-supplied [size] function). Lookups that
@@ -60,17 +68,25 @@ val plan : _ t -> string -> (string -> Xpath.Xpath_ast.path) -> Xpath.Xpath_ast.
     [parse src] (and caching the result) on a miss. Parse exceptions
     propagate and cache nothing. *)
 
-val find : 'v t -> query:string -> epoch:int -> 'v option
+val find : ?doc:string -> 'v t -> query:string -> epoch:int -> 'v option
 (** Pure probe of the result tier (refreshes LRU recency on hit; no
-    single-flight). *)
+    single-flight). [doc] defaults to [""] — the sole document of a
+    single-plane store. *)
 
-val with_result : 'v t -> query:string -> epoch:int -> (unit -> 'v) -> 'v
-(** [with_result c ~query ~epoch compute] returns the cached result for
-    (query, epoch), running [compute] on a miss. Concurrent callers of the
-    same key while [compute] runs block and share its value
+val with_result :
+  ?doc:string -> 'v t -> query:string -> epoch:int -> (unit -> 'v) -> 'v
+(** [with_result c ~doc ~query ~epoch compute] returns the cached result
+    for (doc, query, epoch), running [compute] on a miss. Concurrent
+    callers of the same key while [compute] runs block and share its value
     (single-flight); if [compute] raises, the exception propagates to its
     caller, nothing is cached, and one blocked waiter retries the
     compute. *)
+
+val remove_doc : _ t -> string -> unit
+(** Purge every result entry belonging to one document (plans survive —
+    they depend only on query text). Required when a document is dropped:
+    a successor of the same name restarts its epoch counter, so stale
+    entries could otherwise match fresh snapshots. *)
 
 val clear : _ t -> unit
 (** Drop both tiers (counters are kept; [entries]/[bytes] reset). *)

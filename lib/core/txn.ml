@@ -1,25 +1,32 @@
 open Column
 
+(* The commit lane shared by every document of a catalog: one commit mutex
+   serialising commit application, begin-snapshots, vacuum and checkpoint —
+   the paper's short "install the new pageOffset" critical section — and one
+   WAL all documents append to. Readers NEVER take the mutex: they pin a
+   version. A single-document store simply owns a private lane. *)
+type shared = { commit_mu : Mutex.t; wal_log : Wal.t option }
+
+let shared ?wal () = { commit_mu = Mutex.create (); wal_log = wal }
+
 type manager = {
   base : Schema_up.t;
   locks : Lock.t;
-  wal_log : Wal.t option;
+  lane : shared;
+  doc_id : int;
   versions : Version.store;
-  commit_mu : Mutex.t;
-      (* Serialises commit application, begin-snapshots, vacuum and
-         checkpoint — the paper's short "install the new pageOffset"
-         critical section. Readers NEVER take it: they pin a version. *)
   mutable next_txn : int;
   mutable last_commit : int;
   id_mu : Mutex.t;
 }
 
-let manager ?wal ?(lock_timeout_s = 1.0) ?(next_txn = 1) base =
+let manager ?wal ?(lock_timeout_s = 1.0) ?(next_txn = 1) ?(doc_id = 0) ?shared:lane
+    base =
   { base;
     locks = Lock.create ~timeout_s:lock_timeout_s ();
-    wal_log = wal;
+    lane = (match lane with Some l -> l | None -> shared ?wal ());
+    doc_id;
     versions = Version.create ~epoch:(next_txn - 1) base;
-    commit_mu = Mutex.create ();
     next_txn;
     last_commit = next_txn - 1;
     id_mu = Mutex.create () }
@@ -30,13 +37,19 @@ let store m = m.base
 
 let lock_table m = m.locks
 
-let wal m = m.wal_log
+let wal m = m.lane.wal_log
+
+let lane m = m.lane
+
+let doc_id m = m.doc_id
 
 let versions m = m.versions
 
-let with_commit_mu m f =
-  Mutex.lock m.commit_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m.commit_mu) f
+let exclusively lane f =
+  Mutex.lock lane.commit_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lane.commit_mu) f
+
+let with_commit_mu m f = exclusively m.lane f
 
 let exclusive m f = with_commit_mu m (fun () -> f (View.direct m.base))
 
@@ -330,7 +343,8 @@ let build_record t (st : View.staged) =
     let (node, qn, prop) = st.View.attr_adds.(i) in
     if node <> Varray.null then attr_adds := (node, qn, prop) :: !attr_adds
   done;
-  { Wal.txn = t.txn_id;
+  { Wal.doc = t.m.doc_id;
+    txn = t.txn_id;
     cells;
     pages;
     page_order = Array.of_list !order;
@@ -364,58 +378,106 @@ let capture_for_snapshot m (r : Wal.record) =
   List.iter (fun node -> Version.capture_node vs node) r.Wal.freed_nodes;
   List.iter (fun row -> Version.capture_attr vs row) r.Wal.attr_dels
 
-let commit ?validate t =
-  check_active t "Txn.commit";
-  match View.staged_state t.v with
-  | None -> invalid_arg "Txn.commit: not a staged view"
-  | Some st -> (
-    (* Consistency: validate before attempting to commit (Figure 8). *)
-    (match validate with
-    | None -> ()
-    | Some check -> (
-      match check t.v with
-      | Ok () -> ()
-      | Error msg ->
-        abort t;
-        raise (Aborted ("validation failed: " ^ msg))));
-    let t0 = Obs.monotonic () in
-    match
-      with_commit_mu t.m (fun () ->
-          let record = build_record t st in
-          (* Failpoint: a crash here loses the transaction entirely — the
-             WAL frame was never written, recovery must not see it. *)
-          Fault.hit "txn.commit.before_wal";
-          (* The WAL write is the commit point: a single flushed frame. *)
-          (match t.m.wal_log with
-          | None -> ()
-          | Some w -> Wal.append w record);
-          (* Failpoint: the frame is durable but nothing was applied — the
-             transaction must be present after recovery. *)
-          Fault.hit "txn.commit.after_wal";
-          let lsn = t.m.last_commit + 1 in
-          (* Short MVCC critical section: flip the seqlock odd, capture the
-             pre-images, apply in place, install the new version. Readers
-             pinned at older versions retry any read overlapping this
-             window and then resolve through the captured overlays. *)
-          let cs0 = Version.commit_begin t.m.versions in
-          Fun.protect
-            ~finally:(fun () -> Version.commit_end t.m.versions ~epoch:lsn cs0)
-            (fun () ->
-              capture_for_snapshot t.m record;
-              apply_wal_record ~lsn t.m.base record);
-          t.m.last_commit <- lsn)
-    with
+(* Atomic commit of a group of transactions — at most one per document, all
+   on the same commit lane. The group's records travel in ONE WAL frame, so
+   the commit point is still a single flushed I/O and recovery replays the
+   whole group or none of it. A group of one is exactly Figure 8's commit. *)
+let commit_group ts =
+  match ts with
+  | [] -> ()
+  | (t0, _) :: rest ->
+    List.iter (fun (t, _) -> check_active t "Txn.commit") ts;
+    List.iter
+      (fun (t, _) ->
+        if t.m.lane != t0.m.lane then
+          invalid_arg "Txn.commit_group: transactions span different commit lanes")
+      rest;
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (t, _) ->
+        if Hashtbl.mem seen t.m.doc_id then
+          invalid_arg "Txn.commit_group: two transactions on the same document";
+        Hashtbl.add seen t.m.doc_id ())
+      ts;
+    let staged =
+      List.map
+        (fun (t, validate) ->
+          match View.staged_state t.v with
+          | None -> invalid_arg "Txn.commit: not a staged view"
+          | Some st -> (t, validate, st))
+        ts
+    in
+    (* Consistency: validate every member before attempting to commit
+       (Figure 8); one failure aborts the whole group. *)
+    List.iter
+      (fun (t, validate, _) ->
+        match validate with
+        | None -> ()
+        | Some check -> (
+          match check t.v with
+          | Ok () -> ()
+          | Error msg ->
+            List.iter
+              (fun (t, _, _) -> if t.state = Active then abort t)
+              staged;
+            raise (Aborted ("validation failed: " ^ msg))))
+      staged;
+    let t0m = Obs.monotonic () in
+    (match
+       exclusively t0.m.lane (fun () ->
+           let recs =
+             List.map (fun (t, _, st) -> (t, build_record t st)) staged
+           in
+           (* Failpoint: a crash here loses the group entirely — the WAL
+              frame was never written, recovery must not see it. *)
+           Fault.hit "txn.commit.before_wal";
+           (* The WAL write is the commit point: a single flushed frame
+              carrying every document's record. *)
+           (match t0.m.lane.wal_log with
+           | None -> ()
+           | Some w -> Wal.append_group w (List.map snd recs));
+           (* Failpoint: the frame is durable but nothing was applied — the
+              whole group must be present after recovery. *)
+           Fault.hit "txn.commit.after_wal";
+           List.iter
+             (fun (t, record) ->
+               let lsn = t.m.last_commit + 1 in
+               (* Short MVCC critical section per document: flip the seqlock
+                  odd, capture the pre-images, apply in place, install the
+                  new version. Readers pinned at older versions retry any
+                  read overlapping this window and then resolve through the
+                  captured overlays. *)
+               let cs0 = Version.commit_begin t.m.versions in
+               Fun.protect
+                 ~finally:(fun () ->
+                   Version.commit_end t.m.versions ~epoch:lsn cs0)
+                 (fun () ->
+                   capture_for_snapshot t.m record;
+                   apply_wal_record ~lsn t.m.base record);
+               t.m.last_commit <- lsn)
+             recs)
+     with
     | () ->
-      t.state <- Committed;
-      Obs.inc m_commits;
-      Obs.observe m_commit_latency (Obs.monotonic () -. t0);
-      release t
+      List.iter
+        (fun (t, _, _) ->
+          t.state <- Committed;
+          Obs.inc m_commits;
+          release t)
+        staged;
+      Obs.observe m_commit_latency (Obs.monotonic () -. t0m)
     | exception e ->
-      (* Apply-phase failures must not leave the txn half-open. *)
-      t.state <- Rolled_back;
-      Obs.inc m_rollbacks;
-      release t;
+      (* Apply-phase failures must not leave any member half-open. *)
+      List.iter
+        (fun (t, _, _) ->
+          if t.state = Active then begin
+            t.state <- Rolled_back;
+            Obs.inc m_rollbacks;
+            release t
+          end)
+        staged;
       raise e)
+
+let commit ?validate t = commit_group [ (t, validate) ]
 
 let with_write m ?validate f =
   let t = begin_write m in
@@ -451,15 +513,47 @@ let vacuum ?fill m =
           if m.next_txn <= lsn then m.next_txn <- lsn + 1;
           lsn))
 
-let recover ?(after = 0) ~wal_path b =
+let recover ?(after = 0) ?(doc = 0) ~wal_path b =
   let applied = ref 0 and last = ref after in
   let (_ : int) =
     Wal.replay wal_path (fun r ->
-        if r.Wal.txn > after then begin
-          apply_wal_record b r;
-          incr applied
-        end;
-        if r.Wal.txn > !last then last := r.Wal.txn)
+        if r.Wal.doc = doc then begin
+          if r.Wal.txn > after then begin
+            apply_wal_record b r;
+            incr applied
+          end;
+          if r.Wal.txn > !last then last := r.Wal.txn
+        end)
   in
   Schema_up.rebuild_transients b;
   (!applied, !last)
+
+(* One pass over a mixed multi-document log: each record is dispatched to
+   its document's store (records for unknown ids — documents dropped after
+   the checkpoint — are skipped). Transaction ids are per-document, so the
+   [after] watermark is looked up per document too. *)
+let recover_docs ~wal_path ~store_of ~after =
+  let progress : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let touched : (int, Schema_up.t) Hashtbl.t = Hashtbl.create 8 in
+  let (_ : int) =
+    Wal.replay wal_path (fun r ->
+        match store_of r.Wal.doc with
+        | None -> ()
+        | Some b ->
+          Hashtbl.replace touched r.Wal.doc b;
+          let cutoff = after r.Wal.doc in
+          let applied, last =
+            Option.value ~default:(0, cutoff)
+              (Hashtbl.find_opt progress r.Wal.doc)
+          in
+          let applied =
+            if r.Wal.txn > cutoff then begin
+              apply_wal_record b r;
+              applied + 1
+            end
+            else applied
+          in
+          Hashtbl.replace progress r.Wal.doc (applied, max last r.Wal.txn))
+  in
+  Hashtbl.iter (fun _ b -> Schema_up.rebuild_transients b) touched;
+  progress

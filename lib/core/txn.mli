@@ -24,10 +24,30 @@
 
 type manager
 
+type shared
+(** A {e commit lane}: the commit mutex and WAL shared by every document of
+    a catalog. Commits to different documents serialise through one lane, so
+    a multi-document commit group is one critical section and one WAL frame;
+    per-document state (plane, locks, version chain, LSN counters) stays in
+    each document's {!manager}. *)
+
+val shared : ?wal:Wal.t -> unit -> shared
+(** A fresh lane. A single-document store owns a private one. *)
+
 val manager :
-  ?wal:Wal.t -> ?lock_timeout_s:float -> ?next_txn:int -> Schema_up.t -> manager
+  ?wal:Wal.t ->
+  ?lock_timeout_s:float ->
+  ?next_txn:int ->
+  ?doc_id:int ->
+  ?shared:shared ->
+  Schema_up.t ->
+  manager
 (** [next_txn] seeds the transaction-id (LSN) counter — recovery passes the
-    last replayed id + 1 so ids stay monotone across restarts. *)
+    last replayed id + 1 so ids stay monotone across restarts. Ids (and
+    therefore epochs and page stamps) are {e per document}. [doc_id]
+    (default 0) tags this document's WAL records. [shared] attaches the
+    manager to an existing commit lane; when absent a private lane is
+    created around [wal] ([wal] is ignored if [shared] is given). *)
 
 val last_committed : manager -> int
 (** Highest committed transaction id (0 if none) — the checkpoint LSN. *)
@@ -38,6 +58,11 @@ val lock_table : manager -> Lock.t
 
 val wal : manager -> Wal.t option
 
+val lane : manager -> shared
+(** The commit lane this manager commits through. *)
+
+val doc_id : manager -> int
+
 val versions : manager -> Version.store
 (** The MVCC version chain ([mvcc.*] metrics, pin/unpin bookkeeping). *)
 
@@ -46,6 +71,12 @@ val exclusive : manager -> (View.t -> 'a) -> 'a
     held) — for maintenance that must observe a quiescent base without
     blocking snapshot readers, e.g. writing a checkpoint. Do not call from
     inside a transaction or another exclusive section. *)
+
+val exclusively : shared -> (unit -> 'a) -> 'a
+(** Run [f] with the lane's commit mutex held — excludes commits to {e
+    every} document on the lane at once (a whole-catalog checkpoint needs a
+    cut that is consistent across documents). Same nesting caveats as
+    {!exclusive}. *)
 
 exception Aborted of string
 (** The transaction was rolled back (deadlock timeout, validation failure,
@@ -84,6 +115,15 @@ val commit : ?validate:(View.t -> (unit, string) result) -> t -> unit
     taken; a failure aborts (raises {!Aborted}). Committing or aborting
     twice raises [Invalid_argument]. *)
 
+val commit_group : (t * (View.t -> (unit, string) result) option) list -> unit
+(** Commit several transactions — at most one per document, all on the same
+    commit lane — {e atomically}: all validations run first (one failure
+    aborts every member and raises {!Aborted}), then one WAL frame carries
+    every document's record, then each document applies under its own MVCC
+    critical section. Recovery replays the frame all-or-nothing, so a crash
+    can never surface half a group. [Invalid_argument] if two members share
+    a document or span different lanes. An empty group is a no-op. *)
+
 val abort : t -> unit
 
 val with_write :
@@ -110,7 +150,20 @@ val apply_wal_record : ?lsn:int -> Schema_up.t -> Wal.record -> unit
     record's transaction id — fine for recovery, where no transactions are
     in flight). *)
 
-val recover : ?after:int -> wal_path:string -> Schema_up.t -> int * int
+val recover : ?after:int -> ?doc:int -> wal_path:string -> Schema_up.t -> int * int
 (** Replay the intact WAL prefix onto a freshly loaded checkpoint, skipping
-    records with id [<= after] (the checkpoint LSN; default 0). Returns
-    [(records redone, highest id seen)]. Rebuilds transient state. *)
+    records with id [<= after] (the checkpoint LSN; default 0) and records
+    belonging to other documents ([doc] defaults to 0, the sole document of
+    a single-plane store). Returns [(records redone, highest id seen)].
+    Rebuilds transient state. *)
+
+val recover_docs :
+  wal_path:string ->
+  store_of:(int -> Schema_up.t option) ->
+  after:(int -> int) ->
+  (int, int * int) Hashtbl.t
+(** Replay a mixed multi-document log in one pass: each record is applied to
+    [store_of doc] (skipped when [None] — the document was dropped after the
+    checkpoint), honouring the per-document checkpoint LSN [after doc].
+    Returns per touched document [(records redone, highest id seen)];
+    transient state is rebuilt on every touched store. *)

@@ -1,6 +1,7 @@
 open Column
 
 type record = {
+  doc : int;
   txn : int;
   cells : (int * int * int) list;
   pages : int array array list;
@@ -16,7 +17,11 @@ type record = {
 
 type t = { path : string; mutable oc : out_channel }
 
-let m_frames = Obs.counter ~help:"commit records appended" "wal.frames"
+let m_frames = Obs.counter ~help:"commit frames appended (one per commit group)" "wal.frames"
+
+let m_records =
+  Obs.counter ~help:"per-document records appended across all frames"
+    "wal.records"
 
 let m_bytes = Obs.counter ~help:"bytes appended (frame header included)" "wal.bytes"
 
@@ -64,9 +69,9 @@ let dec_list dec f =
   if n < 0 then raise (Persist.Dec.Corrupt "negative list length");
   List.init n (fun _ -> f dec)
 
-let encode r =
+let encode_record enc r =
   let open Persist.Enc in
-  let enc = create () in
+  int enc r.doc;
   int enc r.txn;
   enc_list enc
     (fun enc (pos, col, v) ->
@@ -102,12 +107,22 @@ let encode r =
       int enc id;
       string enc s)
     r.pool;
-  int enc r.live_delta;
-  contents enc
+  Persist.Enc.int enc r.live_delta
 
-let decode payload =
+(* A frame carries a {e commit group}: every record of one atomic commit,
+   possibly spanning several documents. The frame checksum covers the whole
+   group, so a torn tail drops the commit as a unit — cross-document
+   atomicity costs nothing beyond the existing single-I/O commit point. *)
+let encode_group rs =
+  let enc = Persist.Enc.create () in
+  enc_list enc encode_record rs;
+  Persist.Enc.contents enc
+
+let encode r = encode_group [ r ]
+
+let decode_record dec =
   let open Persist.Dec in
-  let dec = of_string payload in
+  let doc = int dec in
   let txn = int dec in
   let cells =
     dec_list dec (fun dec ->
@@ -149,17 +164,35 @@ let decode payload =
         (pool_of_tag tag, id, s))
   in
   let live_delta = int dec in
-  { txn; cells; pages; page_order; node_pos; freed_nodes; size_deltas;
+  { doc; txn; cells; pages; page_order; node_pos; freed_nodes; size_deltas;
     attr_adds; attr_dels; pool; live_delta }
 
-let append t r =
-  Fault.hit "wal.append.before";
-  let payload = encode r in
-  Obs.time m_fsync_latency (fun () -> Persist.write_frame t.oc payload);
-  Fault.hit "wal.append.after";
-  Obs.inc m_frames;
-  Obs.inc m_fsyncs;
-  Obs.add m_bytes (String.length payload + frame_header_bytes)
+let decode_group payload =
+  let dec = Persist.Dec.of_string payload in
+  dec_list dec decode_record
+
+let decode payload =
+  match decode_group payload with
+  | [ r ] -> r
+  | rs ->
+    raise
+      (Persist.Dec.Corrupt
+         (Printf.sprintf "expected a single record, frame holds %d"
+            (List.length rs)))
+
+let append_group t rs =
+  if rs <> [] then begin
+    Fault.hit "wal.append.before";
+    let payload = encode_group rs in
+    Obs.time m_fsync_latency (fun () -> Persist.write_frame t.oc payload);
+    Fault.hit "wal.append.after";
+    Obs.inc m_frames;
+    Obs.add m_records (List.length rs);
+    Obs.inc m_fsyncs;
+    Obs.add m_bytes (String.length payload + frame_header_bytes)
+  end
+
+let append t r = append_group t [ r ]
 
 let close t = close_out t.oc
 
@@ -194,10 +227,13 @@ let replay path f =
           match Persist.read_frame ic with
           | None -> ()
           | Some payload -> (
-            match decode payload with
-            | r ->
-              f r;
-              incr count;
+            match decode_group payload with
+            | rs ->
+              List.iter
+                (fun r ->
+                  f r;
+                  incr count)
+                rs;
               go ()
             | exception Persist.Dec.Corrupt _ -> ())
         in

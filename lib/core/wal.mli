@@ -18,6 +18,7 @@
     a torn or corrupt tail frame ends replay (see {!Column.Persist}). *)
 
 type record = {
+  doc : int;  (** catalog document id the record belongs to *)
   txn : int;
   cells : (int * int * int) list;  (** (pos, col-index, value) on old pages *)
   pages : int array array list;  (** appended pages, physical order *)
@@ -37,7 +38,15 @@ val open_log : string -> t
 (** Open (create or append to) a WAL file. *)
 
 val append : t -> record -> unit
-(** Write one frame and flush — the commit point. *)
+(** Write one single-record frame and flush — the commit point.
+    Equivalent to {!append_group}[ t [r]]. *)
+
+val append_group : t -> record list -> unit
+(** Write one {e commit group} — the records of one atomic commit, one per
+    touched document — as a single checksummed frame, and flush. The frame
+    checksum covers the whole group, so recovery applies a multi-document
+    commit all-or-nothing: a torn tail drops every record of the group.
+    An empty group writes nothing. *)
 
 val close : t -> unit
 
@@ -50,11 +59,20 @@ val rotate : t -> unit
 val sync_path : t -> string
 
 val replay : string -> (record -> unit) -> int
-(** Feed every intact record of a WAL file, in order, to the callback;
-    returns the number of records applied. A missing file replays zero. *)
+(** Feed every intact record of a WAL file, in order, to the callback —
+    group frames are flattened in commit order, so a mixed multi-document
+    log replays records exactly as they were committed. Returns the number
+    of records applied. A missing file replays zero. *)
 
 val encode : record -> string
-(** Exposed for tests (frame payload of a record). *)
+(** Exposed for tests (frame payload of a single-record group). *)
 
 val decode : string -> record
+(** Raises {!Column.Persist.Dec.Corrupt} on malformed payloads or when the
+    frame holds more than one record. *)
+
+val encode_group : record list -> string
+(** Frame payload of a whole commit group. *)
+
+val decode_group : string -> record list
 (** Raises {!Column.Persist.Dec.Corrupt} on malformed payloads. *)

@@ -7,6 +7,10 @@ type request =
   | Explain of string
   | Profile of string
   | Update of string
+  | Doc of string
+  | Ls
+  | Create of { name : string; body : string }
+  | Drop of string
   | Metrics
   | Cache_stats
   | Quit
@@ -20,6 +24,10 @@ let verb_name = function
   | Explain _ -> "EXPLAIN"
   | Profile _ -> "PROFILE"
   | Update _ -> "UPDATE"
+  | Doc _ -> "DOC"
+  | Ls -> "LS"
+  | Create _ -> "CREATE"
+  | Drop _ -> "DROP"
   | Metrics -> "METRICS"
   | Cache_stats -> "CACHE"
   | Quit -> "QUIT"
@@ -31,6 +39,10 @@ let render_request = function
   | Explain x -> "EXPLAIN " ^ x
   | Profile x -> "PROFILE " ^ x
   | Update body -> "UPDATE\n" ^ body
+  | Doc name -> "DOC " ^ name
+  | Ls -> "LS"
+  | Create { name; body } -> "CREATE " ^ name ^ "\n" ^ body
+  | Drop name -> "DROP " ^ name
   | Metrics -> "METRICS"
   | Cache_stats -> "CACHE"
   | Quit -> "QUIT"
@@ -64,6 +76,13 @@ let parse_request payload =
   | "UPDATE" ->
     if String.trim body = "" then Error "UPDATE needs an XUpdate body"
     else Result.Ok (Update body)
+  | "DOC" -> need_arg (fun a -> Doc a)
+  | "LS" -> Result.Ok Ls
+  | "CREATE" ->
+    if arg = "" then Error "CREATE needs a document name"
+    else if String.trim body = "" then Error "CREATE needs an XML body"
+    else Result.Ok (Create { name = arg; body })
+  | "DROP" -> need_arg (fun a -> Drop a)
   | "METRICS" -> Result.Ok Metrics
   | "CACHE" -> Result.Ok Cache_stats
   | "QUIT" -> Result.Ok Quit
@@ -91,13 +110,14 @@ let max_header_digits = 10
 type read_error =
   | Eof
   | Closed_mid_frame
-  | Too_large of int
+  | Too_large of { len : int; cap : int }
   | Malformed of string
 
 let read_error_text = function
   | Eof -> "connection closed"
   | Closed_mid_frame -> "connection closed mid-frame"
-  | Too_large n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+  | Too_large { len; cap } ->
+    Printf.sprintf "declared frame length %d exceeds the %d-byte limit" len cap
   | Malformed msg -> "malformed frame header: " ^ msg
 
 let rec retry_intr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
@@ -149,15 +169,22 @@ let read_frame ~max_bytes fd =
       | '0' .. '9' when Buffer.length digits < max_header_digits ->
         Buffer.add_char digits (Bytes.get b 0);
         header ()
-      | '0' .. '9' -> Error (Malformed "length header too long")
+      | '0' .. '9' ->
+        Error
+          (Malformed
+             (Printf.sprintf "length header %s… exceeds %d digits"
+                (Buffer.contents digits) max_header_digits))
       | c -> Error (Malformed (Printf.sprintf "unexpected byte %C in length" c)))
   in
   match header () with
   | Error _ as e -> e
   | Result.Ok ds -> (
     match int_of_string_opt ds with
-    | None -> Error (Malformed ("unparseable length " ^ ds))
-    | Some len when len > max_bytes -> Error (Too_large len)
+    | None ->
+      Error
+        (Malformed
+           (Printf.sprintf "unparseable length %s (cap %d bytes)" ds max_bytes))
+    | Some len when len > max_bytes -> Error (Too_large { len; cap = max_bytes })
     | Some len -> (
       if len = 0 then Result.Ok ""
       else

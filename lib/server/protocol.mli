@@ -21,8 +21,15 @@
 
     {v
     PING | QUERY <xpath> | COUNT <xpath> | EXPLAIN <xpath>
-    PROFILE <xpath> | UPDATE (body = XUpdate) | METRICS | CACHE | QUIT
+    PROFILE <xpath> | UPDATE (body = XUpdate)
+    DOC <name> | LS | CREATE <name> (body = XML) | DROP <name>
+    METRICS | CACHE | QUIT
     v}
+
+    [DOC] scopes the connection: subsequent query/update verbs address the
+    named document until the next [DOC]. A connection that never sends
+    [DOC] addresses the server's default document — the pre-catalog
+    behaviour, so old clients keep working unchanged.
 
     {b Responses.} First line ["OK"] or ["ERR <code>"]; the rest is the
     result payload (serialized items, a count, Prometheus text, …) or the
@@ -36,6 +43,11 @@ type request =
   | Explain of string
   | Profile of string
   | Update of string  (** body: one XUpdate modifications document *)
+  | Doc of string  (** scope this connection to the named document *)
+  | Ls  (** list the catalog's document names, one per line *)
+  | Create of { name : string; body : string }
+      (** shred [body] (an XML document) as a new named document *)
+  | Drop of string  (** remove a document from the catalog *)
   | Metrics  (** Prometheus text exposition of the whole registry *)
   | Cache_stats
   | Quit
@@ -44,7 +56,8 @@ type response =
   | Ok of string
   | Err of { code : string; msg : string }
       (** [code] is one short token (["parse"], ["timeout"], ["busy"],
-          ["proto"], ["too-large"], ["shutdown"], …); [msg] is free text. *)
+          ["proto"], ["too-large"], ["catalog"], ["shutdown"], …); [msg] is
+          free text. *)
 
 val verb_name : request -> string
 (** The wire verb (["QUERY"], ["PING"], …) — also the [verb] label of the
@@ -71,10 +84,13 @@ val max_header_digits : int
 type read_error =
   | Eof  (** clean EOF on a frame boundary (peer closed or half-closed) *)
   | Closed_mid_frame  (** EOF after a partial header or payload *)
-  | Too_large of int
-      (** announced length exceeds the receiver's bound; no payload bytes
-          were consumed, but the stream is no longer synchronized *)
-  | Malformed of string  (** non-numeric or oversized length header *)
+  | Too_large of { len : int; cap : int }
+      (** announced length [len] exceeds the receiver's bound [cap]; no
+          payload bytes were consumed, but the stream is no longer
+          synchronized *)
+  | Malformed of string
+      (** non-numeric or oversized length header; the message carries the
+          offending header text and the violated bound *)
 
 val read_error_text : read_error -> string
 

@@ -82,6 +82,10 @@ type conn = {
   mutable deadline : float option; (* monotonic; Some while a request runs *)
   mutable timed_out : bool;
   mutable closed : bool;
+  mutable doc : string;
+      (* DOC scope of this connection; only the worker thread touches it.
+         Starts at the default document, so doc-unaware clients behave
+         exactly as before the catalog existed. *)
 }
 
 type t = {
@@ -167,6 +171,7 @@ let err_code : Db.Error.t -> string = function
   | Db.Error.Apply _ -> "apply"
   | Db.Error.Corrupt _ -> "corrupt"
   | Db.Error.Io _ -> "io"
+  | Db.Error.Catalog _ -> "catalog"
 
 let err e = Protocol.Err { code = err_code e; msg = Db.Error.to_string e }
 
@@ -199,38 +204,60 @@ let cache_stats_text db =
       st.Core.Qcache.plan_hits st.Core.Qcache.plan_misses
       st.Core.Qcache.evictions st.Core.Qcache.singleflight_waits
 
-(* One read request = one pinned snapshot; [f] folds the session's own
-   result into the response body. *)
-let in_read t f =
-  match Db.read_txn ?par:t.par t.db f with
+(* One read request = one pinned snapshot of the connection's current
+   document; [f] folds the session's own result into the response body. *)
+let in_read t ~doc f =
+  match Db.read_txn ?par:t.par ~doc t.db f with
   | Ok (Ok body) -> Protocol.Ok body
   | Ok (Error e) | Error e -> err e
 
-let exec t (req : Protocol.request) : Protocol.response =
+let exec t c (req : Protocol.request) : Protocol.response =
+  let doc = c.doc in
   match req with
   | Protocol.Ping -> Protocol.Ok "pong"
   | Protocol.Quit -> Protocol.Ok "bye"
   | Protocol.Metrics -> Protocol.Ok (Obs.render_prometheus (Obs.snapshot ()))
   | Protocol.Cache_stats -> Protocol.Ok (cache_stats_text t.db)
   | Protocol.Query x ->
-    in_read t (fun s ->
+    in_read t ~doc (fun s ->
         Result.map
           (fun items -> render_items (Db.Session.view s) items)
           (Db.Session.query s x))
   | Protocol.Count x ->
-    in_read t (fun s -> Result.map string_of_int (Db.Session.count s x))
+    in_read t ~doc (fun s -> Result.map string_of_int (Db.Session.count s x))
   | Protocol.Explain x -> (
-    match Db.query_profiled ?par:t.par t.db x with
+    match Db.query_profiled ?par:t.par ~doc t.db x with
     | Ok (_, p) -> Protocol.Ok (Core.Profile.render_explain ~timings:false p)
     | Error e -> err e)
   | Protocol.Profile x -> (
-    match Db.query_profiled ?par:t.par t.db x with
+    match Db.query_profiled ?par:t.par ~doc t.db x with
     | Ok (_, p) -> Protocol.Ok (Core.Profile.render_explain p)
     | Error e -> err e)
   | Protocol.Update body -> (
-    match Db.update t.db body with
+    match Db.update ~doc t.db body with
     | Ok n -> Protocol.Ok (string_of_int n)
     | Error e -> err e)
+  | Protocol.Doc name ->
+    (* Validate eagerly so a typo fails here, not on the next QUERY; the
+       scope sticks until the next DOC (even if the document is later
+       dropped — queries then fail with the same catalog error). *)
+    if List.mem name (Db.list_docs t.db) then begin
+      c.doc <- name;
+      Protocol.Ok name
+    end
+    else err (Db.Error.Catalog ("no such document: " ^ name))
+  | Protocol.Ls -> Protocol.Ok (String.concat "\n" (Db.list_docs t.db))
+  | Protocol.Create { name; body } -> (
+    match Db.create_doc_xml t.db name body with
+    | Ok () -> Protocol.Ok name
+    | Error e -> err e)
+  | Protocol.Drop name ->
+    if name = Db.default_doc then
+      err (Db.Error.Catalog "cannot drop the default document")
+    else (
+      match Db.drop_doc t.db name with
+      | Ok () -> Protocol.Ok name
+      | Error e -> err e)
 
 (* ------------------------------------------------------------ connection -- *)
 
@@ -258,7 +285,7 @@ let handle_frame t c payload =
            else None));
     Fault.hit failpoint_site;
     let t0 = Obs.monotonic () in
-    let resp = exec t req in
+    let resp = exec t c req in
     Obs.observe m_request_time (Obs.monotonic () -. t0);
     let sent = respond c resp in
     match req with
@@ -277,15 +304,12 @@ let serve_conn t c =
       | Error Protocol.Closed_mid_frame ->
         (* half-closed or died mid-upload: nothing to answer *)
         Obs.inc m_frames_rejected
-      | Error (Protocol.Too_large n) ->
+      | Error (Protocol.Too_large _ as e) ->
         Obs.inc m_frames_rejected;
         ignore
           (respond c
              (Protocol.Err
-                { code = "too-large";
-                  msg =
-                    Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
-                      n t.cfg.max_frame_bytes }));
+                { code = "too-large"; msg = Protocol.read_error_text e }));
         (* stream is desynchronized: close (gently — the peer still has an
            error frame to read) *)
         linger_close c
@@ -431,7 +455,8 @@ let accept_loop t =
                       wmu = Mutex.create ();
                       deadline = None;
                       timed_out = false;
-                      closed = false }
+                      closed = false;
+                      doc = Db.default_doc }
                   in
                   Hashtbl.replace t.conns c.id c;
                   Some c

@@ -12,7 +12,17 @@
     hold back the vacuum or observe stale epochs — optionally evaluated on a
     shared {!Core.Par} pool and through the store's epoch-keyed result
     cache. [UPDATE] frames go through {!Core.Db.update}, which serializes
-    them on the store's single write transaction.
+    them on the store's shared commit lane.
+
+    {b Document scoping.} The store is a catalog of named documents; each
+    connection carries a current document, initially
+    {!Core.Db.default_doc}, so doc-unaware clients see the pre-catalog
+    behaviour unchanged. [DOC <name>] re-scopes the connection (validated
+    eagerly — an unknown name earns [ERR catalog] and leaves the scope
+    alone); [LS] lists the catalog; [CREATE <name>] shreds the frame body
+    as a new document; [DROP <name>] removes one (the default document is
+    protected). Each verb has its own [server.requests{verb=...}]
+    counter.
 
     {b Robustness.} Malformed or oversized frames earn an [ERR] response
     (when the stream still permits one) and a connection close — never a

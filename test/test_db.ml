@@ -192,6 +192,191 @@ let test_db_vacuum_wal_guard () =
           Db.close db2);
       Db.close db)
 
+(* -------------------------------------------------------------- catalog -- *)
+
+let upd_append ?(target = "/doc") frag =
+  Printf.sprintf
+    {|<xupdate:modifications><xupdate:append select="%s">%s</xupdate:append></xupdate:modifications>|}
+    target frag
+
+let xml_doc tag n =
+  Printf.sprintf "<doc>%s</doc>"
+    (String.concat "" (List.init n (fun i -> Printf.sprintf "<%s i=\"%d\"/>" tag i)))
+
+let create_xml db name src =
+  match Db.create_doc_xml db name src with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "create_doc %s: %s" name (Db.Error.to_string e)
+
+let test_catalog_basics () =
+  let db = Db.empty () in
+  Alcotest.(check (list string)) "empty catalog" [] (Db.list_docs db);
+  (* no default document yet: entry points that assume it report Catalog *)
+  (match Db.query db "/doc" with
+  | Error (Db.Error.Catalog _) -> ()
+  | _ -> Alcotest.fail "expected Catalog error on an empty catalog");
+  create_xml db Db.default_doc (xml_doc "a" 3);
+  create_xml db "beta" (xml_doc "b" 5);
+  create_xml db "alpha" (xml_doc "c" 7);
+  Alcotest.(check (list string)) "sorted names" [ "alpha"; "beta"; Db.default_doc ]
+    (Db.list_docs db);
+  (* per-document addressing; the bare call is the default document *)
+  Alcotest.(check int) "default doc" 3 (Db.query_count_exn db "/doc/a");
+  Alcotest.(check int) "named doc" 5 (Db.query_count_exn ~doc:"beta" db "/doc/b");
+  Alcotest.(check int) "other named doc" 7 (Db.query_count_exn ~doc:"alpha" db "/doc/c");
+  (* updates are scoped too *)
+  let n = Db.update_exn ~doc:"beta" db (upd_append "<extra/>") in
+  Alcotest.(check int) "one target" 1 n;
+  Alcotest.(check int) "beta grew" 1 (Db.query_count_exn ~doc:"beta" db "/doc/extra");
+  Alcotest.(check int) "alpha untouched" 0
+    (Db.query_count_exn ~doc:"alpha" db "/doc/extra");
+  (* catalog errors surface as values through the result API *)
+  (match Db.query db ~doc:"nope" "/doc" with
+  | Error (Db.Error.Catalog _) -> ()
+  | _ -> Alcotest.fail "expected Catalog error");
+  (match Db.create_doc_xml db "beta" "<doc/>" with
+  | Error (Db.Error.Catalog _) -> ()
+  | _ -> Alcotest.fail "expected duplicate-name error");
+  (match Db.drop_doc db "nope" with
+  | Error (Db.Error.Catalog _) -> ()
+  | _ -> Alcotest.fail "expected Catalog error on drop");
+  Alcotest.check_raises "default doc is protected"
+    (Invalid_argument "Db.drop_doc: cannot drop the default document")
+    (fun () -> ignore (Db.drop_doc db Db.default_doc));
+  (match Db.drop_doc db "alpha" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "drop alpha: %s" (Db.Error.to_string e));
+  Alcotest.(check (list string)) "alpha gone" [ "beta"; Db.default_doc ]
+    (Db.list_docs db);
+  List.iter (fun d -> check_integrity (Db.store ~doc:d db)) (Db.list_docs db)
+
+let test_catalog_fanout () =
+  let db = Db.empty () in
+  create_xml db Db.default_doc (xml_doc "x" 2);
+  create_xml db "two" (xml_doc "x" 4);
+  let rows = Db.query_count_docs ~docs:[ "two"; Db.default_doc; "ghost" ] db "/doc/x" in
+  (match rows with
+  | [ ("two", Ok 4); (d, Ok 2); ("ghost", Error (Db.Error.Catalog _)) ]
+    when d = Db.default_doc ->
+    ()
+  | _ -> Alcotest.fail "fan-out rows wrong");
+  (* default: the whole catalog, in list_docs order *)
+  Alcotest.(check (list string)) "all docs"
+    (Db.list_docs db)
+    (List.map fst (Db.query_count_docs db "/doc/x"))
+
+let test_write_multi_atomic () =
+  let db = Db.empty () in
+  create_xml db Db.default_doc (xml_doc "a" 1);
+  create_xml db "other" (xml_doc "b" 1);
+  (* success: one group commits both documents *)
+  Db.write_multi_exn db [ Db.default_doc; "other" ] (fun doc ->
+      List.iter
+        (fun d ->
+          match Db.Session.update (doc d) (upd_append "<both/>") with
+          | Ok 1 -> ()
+          | Ok n -> Alcotest.failf "%d targets" n
+          | Error e -> Alcotest.failf "update %s: %s" d (Db.Error.to_string e))
+        [ Db.default_doc; "other" ]);
+  Alcotest.(check int) "default updated" 1 (Db.query_count_exn db "/doc/both");
+  Alcotest.(check int) "other updated" 1
+    (Db.query_count_exn ~doc:"other" db "/doc/both");
+  (* failure in one member aborts the whole group *)
+  (match
+     Db.write_multi_exn db [ Db.default_doc; "other" ] (fun doc ->
+         (match Db.Session.update (doc Db.default_doc) (upd_append "<poison/>") with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "first update: %s" (Db.Error.to_string e));
+         failwith "boom")
+   with
+  | _ -> Alcotest.fail "expected the group to abort"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "no partial commit" 0 (Db.query_count_exn db "/doc/poison");
+  (* an unknown name is refused before any work *)
+  (match Db.write_multi db [ "ghost" ] (fun _ -> ()) with
+  | Error (Db.Error.Catalog _) -> ()
+  | _ -> Alcotest.fail "expected Catalog error")
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dbcat" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let test_catalog_checkpoint_recover () =
+  with_temp_dir (fun dir ->
+      let ck = Filename.concat dir "cat.ck" in
+      let wal_path = ck ^ ".wal" in
+      let db = Db.empty ~wal_path () in
+      create_xml db Db.default_doc (xml_doc "a" 2);
+      create_xml db "left" (xml_doc "b" 3);
+      create_xml db "right" (xml_doc "c" 4);
+      ignore (Db.update_exn ~doc:"left" db (upd_append "<pre-ck/>"));
+      Db.checkpoint db ck;
+      (* post-checkpoint commits live only in the (mixed, multi-doc) WAL —
+         including one atomic cross-document group *)
+      ignore (Db.update_exn ~doc:"right" db (upd_append "<post-ck/>"));
+      ignore (Db.update_exn db (upd_append "<post-ck/>"));
+      Db.write_multi_exn db [ "left"; "right" ] (fun doc ->
+          List.iter
+            (fun d -> ignore (Db.Session.update_exn (doc d) (upd_append "<grouped/>")))
+            [ "left"; "right" ]);
+      let expect =
+        List.map (fun d -> (d, Db.to_xml ~doc:d db)) (Db.list_docs db)
+      in
+      Db.close db;
+      let db2 = Db.open_recovered_exn ~checkpoint:ck () in
+      Alcotest.(check (list string)) "names survive"
+        (List.map fst expect) (Db.list_docs db2);
+      List.iter
+        (fun (d, xml) ->
+          check_integrity (Db.store ~doc:d db2);
+          Alcotest.(check string) ("document " ^ d) xml (Db.to_xml ~doc:d db2))
+        expect;
+      (* the recovered catalog accepts further scoped commits *)
+      Alcotest.(check int) "post-recovery update" 1
+        (Db.update_exn ~doc:"left" db2 (upd_append "<after/>"));
+      Db.close db2)
+
+let test_legacy_checkpoint_loads () =
+  with_temp_dir (fun dir ->
+      (* hand-write a pre-catalog checkpoint: [lsn; plane] *)
+      let ck = Filename.concat dir "legacy.ck" in
+      let store = Up.of_dom (Xml.Xml_parser.parse ~strip_ws:true (xml_doc "old" 6)) in
+      let enc = Column.Persist.Enc.create () in
+      Column.Persist.Enc.int enc 0;
+      Up.save store enc;
+      let oc = open_out_bin ck in
+      Column.Persist.write_frame oc (Column.Persist.Enc.contents enc);
+      close_out oc;
+      let db = Db.open_recovered_exn ~checkpoint:ck () in
+      Alcotest.(check (list string)) "sole default document" [ Db.default_doc ]
+        (Db.list_docs db);
+      Alcotest.(check int) "content intact" 6 (Db.query_count_exn db "/doc/old");
+      Db.close db)
+
+let test_drop_purges_cache () =
+  let db = Db.empty ~cache:Db.default_cache () in
+  create_xml db Db.default_doc "<doc/>";
+  create_xml db "vic" (xml_doc "v" 5);
+  let stats () = Option.get (Db.cache_stats db) in
+  Alcotest.(check int) "warm" 5 (Db.query_count_exn ~doc:"vic" db "/doc/v");
+  Alcotest.(check int) "hit" 5 (Db.query_count_exn ~doc:"vic" db "/doc/v");
+  let before = stats () in
+  Db.drop_doc_exn db "vic";
+  (* same name, same query, fresh document: epochs restarted at zero, so a
+     stale surviving entry would be served — the drop must have purged it *)
+  create_xml db "vic" (xml_doc "v" 2);
+  let n = Db.query_count_exn ~doc:"vic" db "/doc/v" in
+  let after = stats () in
+  Alcotest.(check int) "fresh result, not the cached 5" 2 n;
+  Alcotest.(check int) "re-query was a miss" (before.Core.Qcache.misses + 1)
+    after.Core.Qcache.misses
+
 let () =
   Alcotest.run "db"
     [ ( "validate",
@@ -202,4 +387,14 @@ let () =
           Alcotest.test_case "schema enforced on commit" `Quick test_db_schema_enforced;
           Alcotest.test_case "with_write and read" `Quick test_db_with_write_and_read;
           Alcotest.test_case "vacuum" `Quick test_db_vacuum;
-          Alcotest.test_case "vacuum + wal" `Quick test_db_vacuum_wal_guard ] ) ]
+          Alcotest.test_case "vacuum + wal" `Quick test_db_vacuum_wal_guard ] );
+      ( "catalog",
+        [ Alcotest.test_case "create/drop/list + scoping" `Quick test_catalog_basics;
+          Alcotest.test_case "inter-document fan-out" `Quick test_catalog_fanout;
+          Alcotest.test_case "write_multi is atomic" `Quick test_write_multi_atomic;
+          Alcotest.test_case "catalog checkpoint + mixed WAL" `Quick
+            test_catalog_checkpoint_recover;
+          Alcotest.test_case "legacy checkpoint loads" `Quick
+            test_legacy_checkpoint_loads;
+          Alcotest.test_case "drop purges cached results" `Quick
+            test_drop_purges_cache ] ) ]

@@ -198,6 +198,133 @@ let test_delay_is_benign () =
       Alcotest.check status "child exits cleanly" (Unix.WEXITED 0) st;
       Alcotest.(check int) "nothing lost" 3 (recovered_count dir))
 
+(* ----------------------------------------- multi-document crash/recovery -- *)
+
+let cat_names = [ Core.Db.default_doc; "beta"; "gamma" ]
+
+(* Fork a child that builds a 3-document catalog on one shared WAL,
+   checkpoints, arms [site], then interleaves [n] single-document appends
+   (round-robin across the catalog) and finishes with one cross-document
+   group commit that appends <g/> to every document. The mixed log that a
+   crash leaves behind exercises per-document replay and group atomicity. *)
+let crash_multidoc_child ~dir ~site ~policy ~action n =
+  let ck = Filename.concat dir "cat.ck" in
+  let wal = ck ^ ".wal" in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 null Unix.stdout;
+    Unix.dup2 null Unix.stderr;
+    Unix.close null;
+    let db = Core.Db.empty ~wal_path:wal () in
+    List.iter
+      (fun nm ->
+        match Core.Db.create_doc_xml ~page_bits:3 db nm base with
+        | Ok () -> ()
+        | Error _ -> Unix._exit 3)
+      cat_names;
+    Core.Db.checkpoint db ck;
+    Fault.arm ~seed:1 site ~policy ~action;
+    for j = 1 to n do
+      ignore
+        (Core.Db.update ~doc:(List.nth cat_names (j mod 3)) db
+           (Printf.sprintf
+              {|<xupdate:modifications><xupdate:append select="/r"><i>n%d</i></xupdate:append></xupdate:modifications>|}
+              j))
+    done;
+    ignore
+      (Core.Db.write_multi db cat_names (fun doc ->
+           List.iter
+             (fun nm ->
+               ignore
+                 (Core.Db.Session.update (doc nm)
+                    {|<xupdate:modifications><xupdate:append select="/r"><g/></xupdate:append></xupdate:modifications>|}))
+             cat_names));
+    Unix._exit 0
+  | pid -> snd (Unix.waitpid [] pid)
+
+let recovered_catalog dir =
+  let ck = Filename.concat dir "cat.ck" in
+  match Core.Db.open_recovered ~checkpoint:ck () with
+  | Error e -> Alcotest.failf "recovery failed: %s" (Core.Db.Error.to_string e)
+  | Ok db ->
+    List.iter
+      (fun nm ->
+        match Core.Schema_up.check_integrity (Core.Db.store ~doc:nm db) with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "%s integrity after recovery: %s" nm m)
+      cat_names;
+    db
+
+(* 1 + |{j <= k : j mod 3 = idx}| — the seeded <i> plus the round-robin
+   appends whose WAL frames landed before the crash *)
+let expect_items k idx =
+  let c = ref 1 in
+  for j = 1 to k do
+    if j mod 3 = idx then incr c
+  done;
+  !c
+
+let check_catalog db ~durable ~group =
+  List.iteri
+    (fun idx nm ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s items" nm)
+        (expect_items durable idx)
+        (Core.Db.query_count_exn ~doc:nm db "/r/i");
+      Alcotest.(check int)
+        (Printf.sprintf "%s group marker" nm)
+        (if group then 1 else 0)
+        (Core.Db.query_count_exn ~doc:nm db "/r/g"))
+    cat_names
+
+let test_crash_multidoc_mid_log () =
+  with_dir (fun dir ->
+      (* crash inside commit 5 of 5, just after its WAL frame: all five
+         round-robin commits replay, each to its own document; the group
+         commit never ran *)
+      let st =
+        crash_multidoc_child ~dir ~site:"txn.commit.after_wal"
+          ~policy:(Fault.Hit 5) ~action:Fault.Crash 5
+      in
+      Alcotest.check status "child killed" killed st;
+      check_catalog (recovered_catalog dir) ~durable:5 ~group:false)
+
+let test_crash_multidoc_group_atomic () =
+  with_dir (fun dir ->
+      (* crash before the group's frame: every single-doc commit is durable,
+         the group is absent from ALL documents *)
+      let st =
+        crash_multidoc_child ~dir ~site:"txn.commit.before_wal"
+          ~policy:(Fault.Hit 4) ~action:Fault.Crash 3
+      in
+      Alcotest.check status "child killed" killed st;
+      check_catalog (recovered_catalog dir) ~durable:3 ~group:false)
+
+let test_crash_multidoc_group_durable () =
+  with_dir (fun dir ->
+      (* crash after the group's frame: the group is present in ALL
+         documents — one frame, all or nothing *)
+      let st =
+        crash_multidoc_child ~dir ~site:"txn.commit.after_wal"
+          ~policy:(Fault.Hit 4) ~action:Fault.Crash 3
+      in
+      Alcotest.check status "child killed" killed st;
+      check_catalog (recovered_catalog dir) ~durable:3 ~group:true)
+
+let test_crash_multidoc_torn_group () =
+  with_dir (fun dir ->
+      (* the group's frame itself is torn mid-write: replay must drop the
+         whole group — no document may see a partial application *)
+      let st =
+        crash_multidoc_child ~dir ~site:"persist.write_frame"
+          ~policy:(Fault.Hit 4) ~action:(Fault.Torn_write 0.5) 3
+      in
+      Alcotest.check status "child killed" killed st;
+      check_catalog (recovered_catalog dir) ~durable:3 ~group:false)
+
 (* ------------------------------------------------------------ CLI layer -- *)
 
 let bin =
@@ -243,6 +370,15 @@ let () =
           Alcotest.test_case "after WAL -> txn present" `Quick test_crash_after_wal;
           Alcotest.test_case "torn frame -> clean stop" `Quick test_torn_frame;
           Alcotest.test_case "delay -> benign" `Quick test_delay_is_benign ] );
+      ( "multidoc-crash",
+        [ Alcotest.test_case "mixed log replays per document" `Quick
+            test_crash_multidoc_mid_log;
+          Alcotest.test_case "group lost before its frame" `Quick
+            test_crash_multidoc_group_atomic;
+          Alcotest.test_case "group durable after its frame" `Quick
+            test_crash_multidoc_group_durable;
+          Alcotest.test_case "torn group frame drops whole group" `Quick
+            test_crash_multidoc_torn_group ] );
       ( "cli",
         [ Alcotest.test_case "torture smoke" `Quick test_torture_cli;
           Alcotest.test_case "XQDB_FAILPOINTS validation" `Quick test_failpoints_env ] ) ]

@@ -486,6 +486,135 @@ let prop_cached =
     ~name:"interleaved updates + repeated queries: cached Db = oracle"
     ~count:150 ~print:print_cached_case gen_cached_case check_cached
 
+(* ------------------------------------- the document catalog vs oracles -- *)
+
+(* 2-3 documents in one catalog (shared commit lane and cache), each paired
+   with its own independent DOM oracle. Rounds interleave scoped updates
+   with queries over EVERY document: a commit that leaked into another
+   document's state, or a cache entry served across documents or across one
+   document's epoch bump, breaks equivalence. When the cache is live (the
+   XQDB_CACHE=off override disables it; CI runs this property both ways) the
+   per-document epoch claim is asserted directly: re-querying the untouched
+   documents after a commit must produce no cache misses. *)
+
+let doc_name i = if i = 0 then Db.default_doc else Printf.sprintf "d%d" i
+
+let gen_multidoc_case =
+  let open QCheck2.Gen in
+  let* ndocs = int_range 2 3 in
+  let* docs = list_repeat ndocs Testsupport.gen_doc in
+  let* pool_paths = list_repeat 3 (gen_path 2) in
+  let* rounds =
+    list_size (int_range 2 5)
+      (triple (int_bound (ndocs - 1)) gen_cmds (int_bound 2))
+  in
+  return (docs, pool_paths, rounds)
+
+let print_multidoc_case (docs, pool_paths, rounds) =
+  Printf.sprintf "paths: %s\nrounds: %s\ndocs:\n%s"
+    (String.concat " | " (List.map to_string pool_paths))
+    (String.concat " ; "
+       (List.map
+          (fun (di, cmds, pi) ->
+            Printf.sprintf "%s: q%d after {%s}" (doc_name di) pi
+              (String.concat " ; " (List.map show_command cmds)))
+          rounds))
+    (String.concat "\n"
+       (List.mapi
+          (fun i d -> Printf.sprintf "  %s: %s" (doc_name i) (Testsupport.print_doc d))
+          docs))
+
+let check_multidoc (docs, pool_paths, rounds) =
+  let db = Db.empty ~cache:(Db.cache_config ~entries:32 ~bytes:(1 lsl 16) ()) () in
+  List.iteri
+    (fun i d ->
+      match Db.create_doc ~page_bits:3 ~fill:0.7 db (doc_name i) d with
+      | Ok () -> ()
+      | Error e -> failwith (Db.Error.to_string e))
+    docs;
+  let names = List.mapi (fun i _ -> (i, doc_name i)) docs in
+  let oracles = Array.of_list docs in
+  let stats () =
+    match Db.cache_stats db with
+    | Some s -> s
+    | None ->
+      { Core.Qcache.hits = 0; misses = 0; evictions = 0; entries = 0;
+        plan_hits = 0; plan_misses = 0; singleflight_waits = 0; bytes = 0;
+        max_entries = 0; max_bytes = 0; max_plans = 0 }
+  in
+  (* XQDB_CACHE=off strips the cache entirely: detect whether a repeated
+     query is actually served, and only then assert miss counts *)
+  let cache_live =
+    let h0 = (stats ()).Core.Qcache.hits in
+    ignore (Db.query_count db "/*");
+    ignore (Db.query_count db "/*");
+    (stats ()).Core.Qcache.hits > h0
+  in
+  let query_doc name src =
+    Db.read_txn_exn ~doc:name db (fun s ->
+        let v = Db.Session.view s in
+        norm_engine v (Db.Session.query_exn s src))
+  in
+  let check_all p src =
+    List.for_all
+      (fun (i, name) ->
+        let e = query_doc name src in
+        let o = norm_oracle oracles.(i) (O.eval oracles.(i) p) in
+        e = o
+        || QCheck2.Test.fail_reportf "doc %s: engine [%s] oracle [%s] (%s)" name
+             (show_norms e) (show_norms o) src)
+      names
+  in
+  List.for_all
+    (fun (di, cmds, pi) ->
+      let p0 = List.nth pool_paths pi in
+      let src = to_string p0 in
+      match Xpath.Xpath_parser.parse src with
+      | exception _ -> true
+      | p ->
+        check_all p src
+        && (match
+              ( Db.write_txn ~doc:(doc_name di) db (fun s ->
+                    Xupdate.apply (Db.Session.view s) cmds),
+                apply_oracle oracles.(di) cmds )
+            with
+           | Ok en, Ok (od', onn) ->
+             oracles.(di) <- od';
+             en = onn
+             || QCheck2.Test.fail_reportf
+                  "multidoc: affected counts differ on %s: engine %d, oracle %d"
+                  (doc_name di) en onn
+           | Error _, Error _ -> true
+           | Ok _, Error m ->
+             QCheck2.Test.fail_reportf
+               "multidoc: oracle failed (%s), engine succeeded on %s" m
+               (doc_name di)
+           | Error e, Ok _ ->
+             QCheck2.Test.fail_reportf
+               "multidoc: engine failed (%s), oracle succeeded on %s"
+               (Db.Error.to_string e) (doc_name di))
+        && begin
+             (* per-document epochs: the commit to [di] (if any) must not
+                invalidate the other documents' warm entries *)
+             let others = List.filter (fun (i, _) -> i <> di) names in
+             let before = stats () in
+             List.iter (fun (_, n) -> ignore (query_doc n src)) others;
+             let after = stats () in
+             (not cache_live)
+             || after.Core.Qcache.misses = before.Core.Qcache.misses
+             || QCheck2.Test.fail_reportf
+                  "a commit to %s cost %d cache miss(es) on other documents"
+                  (doc_name di)
+                  (after.Core.Qcache.misses - before.Core.Qcache.misses)
+           end
+        && check_all p src)
+    rounds
+
+let prop_multidoc =
+  QCheck2.Test.make
+    ~name:"interleaved updates across documents: catalog = independent oracles"
+    ~count:100 ~print:print_multidoc_case gen_multidoc_case check_multidoc
+
 let () =
   Alcotest.run "oracle"
     [ ( "queries",
@@ -494,5 +623,6 @@ let () =
       ( "updates",
         [ Testsupport.qcheck_case prop_update;
           Testsupport.qcheck_case prop_query_after_update ] );
-      ("cache", [ Testsupport.qcheck_case prop_cached ])
+      ("cache", [ Testsupport.qcheck_case prop_cached ]);
+      ("multidoc", [ Testsupport.qcheck_case prop_multidoc ])
     ]

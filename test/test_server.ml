@@ -117,8 +117,8 @@ let test_protocol_roundtrip () =
   with_pair (fun a b ->
       P.write_frame a (String.make 2048 'z');
       match P.read_frame ~max_bytes:1024 b with
-      | Error (P.Too_large 2048) -> ()
-      | _ -> Alcotest.fail "expected Too_large 2048");
+      | Error (P.Too_large { len = 2048; cap = 1024 }) -> ()
+      | _ -> Alcotest.fail "expected Too_large {2048; 1024}");
   (* malformed: non-digit in the length header *)
   with_pair (fun a b ->
       let garbage = Bytes.of_string "12x\nrest" in
@@ -421,6 +421,166 @@ let test_binary_crash_during_serve_recovers () =
         Alcotest.(check bool) "both acked updates recovered" true
           (contains xml {|id="a1"|} && contains xml {|id="a2"|}))
 
+(* ---------------------------------------------------------------- catalog -- *)
+
+let shop_xml n =
+  let b = Buffer.create 64 in
+  Buffer.add_string b "<shop>";
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf {|<item n="%d"/>|} i)
+  done;
+  Buffer.add_string b "</shop>";
+  Buffer.contents b
+
+let append_item id =
+  Printf.sprintf
+    {|<xupdate:modifications><xupdate:append select="/shop"><item n="%s"/></xupdate:append></xupdate:modifications>|}
+    id
+
+(* Pull one named counter out of a CACHE response ("misses 3" lines). *)
+let cache_counter field fd =
+  let text = ok_body (P.request fd P.Cache_stats) in
+  let v = ref None in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ k; n ] when k = field -> v := int_of_string_opt n
+      | _ -> ())
+    (String.split_on_char '\n' text);
+  match !v with
+  | Some n -> n
+  | None -> Alcotest.failf "no %S in CACHE response: %s" field text
+
+let test_catalog_verbs_end_to_end () =
+  with_server (fun port ->
+      with_conn port (fun fd ->
+          Alcotest.(check string) "initial catalog" Db.default_doc
+            (ok_body (P.request fd P.Ls));
+          Alcotest.(check string) "create beta" "beta"
+            (ok_body (P.request fd (P.Create { name = "beta"; body = shop_xml 3 })));
+          Alcotest.(check string) "create gamma" "gamma"
+            (ok_body (P.request fd (P.Create { name = "gamma"; body = shop_xml 5 })));
+          Alcotest.(check string) "ls is the sorted catalog"
+            (String.concat "\n" (List.sort compare [ "beta"; "gamma"; Db.default_doc ]))
+            (ok_body (P.request fd P.Ls));
+          Alcotest.(check string) "scope to beta" "beta"
+            (ok_body (P.request fd (P.Doc "beta")));
+          Alcotest.(check string) "scoped count" "3"
+            (ok_body (P.request fd (P.Count "//item")));
+          Alcotest.(check string) "scoped update acked" "1"
+            (ok_body (P.request fd (P.Update (append_item "extra"))));
+          Alcotest.(check string) "scoped update visible" "4"
+            (ok_body (P.request fd (P.Count "//item")));
+          Alcotest.(check string) "rescope to default" Db.default_doc
+            (ok_body (P.request fd (P.Doc Db.default_doc)));
+          Alcotest.(check string) "default untouched by scoped write" "2"
+            (ok_body (P.request fd (P.Count "//person")));
+          Alcotest.(check string) "beta's items are not visible here" "0"
+            (ok_body (P.request fd (P.Count "//item")));
+          Alcotest.(check string) "unknown DOC" "catalog"
+            (err_code (P.request fd (P.Doc "ghost")));
+          Alcotest.(check string) "duplicate CREATE" "catalog"
+            (err_code (P.request fd (P.Create { name = "beta"; body = shop_xml 1 })));
+          Alcotest.(check string) "DROP of default refused" "catalog"
+            (err_code (P.request fd (P.Drop Db.default_doc)));
+          Alcotest.(check string) "drop gamma" "gamma"
+            (ok_body (P.request fd (P.Drop "gamma")));
+          Alcotest.(check string) "dropped doc unaddressable" "catalog"
+            (err_code (P.request fd (P.Doc "gamma")));
+          (* every catalog verb shows up in the per-verb request counters *)
+          let m = ok_body (P.request fd P.Metrics) in
+          List.iter
+            (fun verb ->
+              Alcotest.(check bool) (verb ^ " counted") true
+                (contains m (Printf.sprintf {|server_requests{verb="%s"}|} verb)))
+            [ "DOC"; "LS"; "CREATE"; "DROP" ]))
+
+let test_catalog_cache_isolation () =
+  (* a commit to the default document must not cost the scoped document its
+     warm cache entries: per-document epochs, observed through CACHE *)
+  with_server (fun port ->
+      with_conn port (fun fd ->
+          ignore (ok_body (P.request fd (P.Create { name = "beta"; body = shop_xml 4 })));
+          ignore (ok_body (P.request fd (P.Doc "beta")));
+          ignore (ok_body (P.request fd (P.Query "//item")));
+          (* warm *)
+          let h0 = cache_counter "hits" fd in
+          ignore (ok_body (P.request fd (P.Query "//item")));
+          Alcotest.(check bool) "repeat is served from cache" true
+            (cache_counter "hits" fd > h0);
+          ignore (ok_body (P.request fd (P.Doc Db.default_doc)));
+          Alcotest.(check string) "commit to the default doc" "1"
+            (ok_body (P.request fd (P.Update (append_update "p9"))));
+          ignore (ok_body (P.request fd (P.Doc "beta")));
+          let m0 = cache_counter "misses" fd in
+          let h1 = cache_counter "hits" fd in
+          ignore (ok_body (P.request fd (P.Query "//item")));
+          Alcotest.(check int) "no cache miss on the unwritten doc"
+            m0 (cache_counter "misses" fd);
+          Alcotest.(check bool) "still a hit after the other doc's commit" true
+            (cache_counter "hits" fd > h1)))
+
+let test_catalog_concurrent_clients () =
+  with_server (fun port ->
+      with_conn port (fun fd ->
+          ignore (ok_body (P.request fd (P.Create { name = "beta"; body = shop_xml 4 })));
+          ignore (ok_body (P.request fd (P.Create { name = "gamma"; body = shop_xml 7 }))));
+      let docs =
+        [| (Db.default_doc, "//person", "/site/people",
+            fun k -> Printf.sprintf {|<person id="c%d"/>|} k);
+           ("beta", "//item", "/shop", fun k -> Printf.sprintf {|<item n="c%d"/>|} k);
+           ("gamma", "//item", "/shop", fun k -> Printf.sprintf {|<item n="c%d"/>|} k)
+        |]
+      in
+      let base = [| 2; 4; 7 |] in
+      let errors = Atomic.make 0 in
+      let client k () =
+        let name, path, sel, frag = docs.(k mod 3) in
+        with_conn port (fun fd ->
+            match P.request fd (P.Doc name) with
+            | Result.Ok (P.Ok _) ->
+              for _ = 1 to 20 do
+                match P.request fd (P.Count path) with
+                | Result.Ok (P.Ok b) -> (
+                  (* counts only grow, and never below the seeded size *)
+                  match int_of_string_opt b with
+                  | Some c when c >= base.(k mod 3) -> ()
+                  | _ -> Atomic.incr errors)
+                | _ -> Atomic.incr errors
+              done;
+              let upd =
+                Printf.sprintf
+                  {|<xupdate:modifications><xupdate:append select="%s">%s</xupdate:append></xupdate:modifications>|}
+                  sel (frag k)
+              in
+              (* appends from clients sharing a document can lose the
+                 first-committer-wins race: ERR aborted is the documented
+                 retry signal, everything else is a real failure *)
+              let rec commit attempts =
+                match P.request fd (P.Update upd) with
+                | Result.Ok (P.Ok "1") -> ()
+                | Result.Ok (P.Err { code = "aborted"; _ }) when attempts < 20 ->
+                  Thread.delay 0.01;
+                  commit (attempts + 1)
+                | _ -> Atomic.incr errors
+              in
+              commit 0
+            | _ -> Atomic.incr errors)
+      in
+      let ts = List.init 9 (fun k -> Thread.create (client k) ()) in
+      List.iter Thread.join ts;
+      Alcotest.(check int) "no errors across 9 doc-scoped clients" 0
+        (Atomic.get errors);
+      (* each document absorbed exactly its own three writes *)
+      with_conn port (fun fd ->
+          Array.iteri
+            (fun i (name, path, _, _) ->
+              ignore (ok_body (P.request fd (P.Doc name)));
+              Alcotest.(check string) (name ^ " final count")
+                (string_of_int (base.(i) + 3))
+                (ok_body (P.request fd (P.Count path))))
+            docs))
+
 (* ------------------------------------------------------------- concurrency -- *)
 
 let test_concurrent_clients () =
@@ -466,5 +626,12 @@ let () =
             test_binary_sigterm_drains;
           Alcotest.test_case "crash mid-serve recovers acked updates" `Quick
             test_binary_crash_during_serve_recovers ] );
+      ( "catalog",
+        [ Alcotest.test_case "DOC/LS/CREATE/DROP end-to-end" `Quick
+            test_catalog_verbs_end_to_end;
+          Alcotest.test_case "cross-document cache isolation" `Quick
+            test_catalog_cache_isolation;
+          Alcotest.test_case "doc-scoped concurrent clients" `Quick
+            test_catalog_concurrent_clients ] );
       ( "concurrency",
         [ Alcotest.test_case "8 parallel clients" `Quick test_concurrent_clients ] ) ]

@@ -36,7 +36,8 @@ let node_pre v path =
 (* ---------------------------------------------------------------- codec -- *)
 
 let sample_record =
-  { Wal.txn = 42;
+  { Wal.doc = 0;
+    txn = 42;
     cells = [ (3, 0, 7); (12, 1, Column.Varray.null) ];
     pages = [ Array.init 5 (fun c -> Array.init 4 (fun i -> (c * 10) + i)) ];
     page_order = [| 0; 2; 1 |];
@@ -87,14 +88,50 @@ let gen_record =
   let* attr_dels = small_list (int_bound 99) in
   let* pool = small_list (triple pool_tag (int_bound 99) string_printable) in
   let* live_delta = int_range (-100) 100 in
+  let* doc = int_bound 7 in
   return
-    { Wal.txn; cells; pages; page_order = order; node_pos;
+    { Wal.doc; txn; cells; pages; page_order = order; node_pos;
       freed_nodes = freed; size_deltas = deltas; attr_adds; attr_dels; pool;
       live_delta }
 
 let prop_record_roundtrip =
   QCheck2.Test.make ~name:"WAL record encode/decode roundtrip" ~count:300
     gen_record (fun r -> Wal.decode (Wal.encode r) = r)
+
+let test_group_roundtrip () =
+  let r2 = { sample_record with Wal.doc = 1; txn = 43 } in
+  let payload = Wal.encode_group [ sample_record; r2 ] in
+  let rs = Wal.decode_group payload in
+  Alcotest.(check bool) "group equal" true (rs = [ sample_record; r2 ]);
+  (* the single-record decoder refuses a multi-record frame *)
+  match Wal.decode payload with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Column.Persist.Dec.Corrupt _ -> ()
+
+(* A commit group is one checksummed frame: an intact log replays its records
+   in order; a torn tail drops the WHOLE trailing group, never part of it. *)
+let test_group_frame_is_atomic () =
+  with_temp (fun dir ->
+      let wal_path = Filename.concat dir "log.wal" in
+      let wal = Wal.open_log wal_path in
+      Wal.append wal sample_record;
+      let r2 = { sample_record with Wal.doc = 1; txn = 43 } in
+      let r3 = { sample_record with Wal.doc = 2; txn = 44 } in
+      Wal.append_group wal [ r2; r3 ];
+      Wal.close wal;
+      let seen = ref [] in
+      let n = Wal.replay wal_path (fun r -> seen := (r.Wal.doc, r.Wal.txn) :: !seen) in
+      Alcotest.(check int) "three records" 3 n;
+      Alcotest.(check (list (pair int int)))
+        "flattened in order" [ (0, 42); (1, 43); (2, 44) ] (List.rev !seen);
+      let len = (Unix.stat wal_path).Unix.st_size in
+      let fd = Unix.openfile wal_path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (len - 5);
+      Unix.close fd;
+      let seen2 = ref [] in
+      let n2 = Wal.replay wal_path (fun r -> seen2 := r.Wal.txn :: !seen2) in
+      Alcotest.(check int) "only the intact frame" 1 n2;
+      Alcotest.(check (list int)) "no half-group" [ 42 ] (List.rev !seen2))
 
 (* --------------------------------------------------------------- replay -- *)
 
@@ -220,6 +257,9 @@ let () =
     [ ( "codec",
         [ Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
           Alcotest.test_case "corrupt payload" `Quick test_record_corrupt;
+          Alcotest.test_case "group roundtrip" `Quick test_group_roundtrip;
+          Alcotest.test_case "group frame is atomic" `Quick
+            test_group_frame_is_atomic;
           Testsupport.qcheck_case prop_record_roundtrip ] );
       ( "recovery",
         [ Alcotest.test_case "replay reproduces document" `Quick
